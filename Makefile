@@ -1,0 +1,32 @@
+# Developer entry points.  REPRO_SCALE=paper switches the benchmark
+# suite to the full section-IV trace sizes.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-paper examples lint-quick clean
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-paper:
+	REPRO_SCALE=paper $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/scheduler_comparison.py --queries 20
+	$(PYTHON) examples/localization_study.py --queries 8
+	$(PYTHON) examples/interference_study.py --queries 25
+	$(PYTHON) examples/offline_analysis.py --queries 12
+
+lint-quick:
+	$(PYTHON) -m compileall -q src tests benchmarks examples
+
+clean:
+	rm -rf .pytest_cache .hypothesis benchmarks/results src/repro.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,86 @@
+"""Performance benchmarks of the library itself.
+
+Not a paper figure: these keep the simulator and the miner honest as
+code evolves (the optimization guide's "no optimization without
+measuring").  Thresholds are deliberately loose — they catch accidental
+quadratic blowups, not jitter.
+"""
+
+import time
+
+from repro.core.checker import SDChecker
+from repro.experiments.harness import TraceScenario
+from repro.params import SimulationParams
+from repro.simul.engine import Simulator
+from repro.simul.resources import FairShareResource
+
+
+def test_event_loop_throughput(benchmark):
+    """Raw DES kernel: ping-pong timeouts."""
+
+    def run():
+        sim = Simulator()
+
+        def ticker():
+            for _ in range(50_000):
+                yield sim.timeout(0.001)
+
+        sim.process(ticker())
+        sim.run()
+        return sim.now
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result > 0
+    # 50k events should take well under 5 seconds on any machine.
+    assert benchmark.stats.stats.max < 5.0
+
+
+def test_fair_share_churn(benchmark):
+    """Processor-sharing bookkeeping under heavy membership churn."""
+
+    def run():
+        sim = Simulator()
+        res = FairShareResource(sim, 1000.0)
+
+        def spawner():
+            for i in range(2_000):
+                res.submit(float(10 + (i % 50)))
+                yield sim.timeout(0.01)
+
+        sim.process(spawner())
+        sim.run()
+        return res.active_jobs
+
+    remaining = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert remaining == 0
+    assert benchmark.stats.stats.max < 20.0
+
+
+def test_trace_simulation_rate(benchmark):
+    """End-to-end: queries simulated per wall-clock second."""
+
+    def run():
+        t0 = time.perf_counter()
+        result = TraceScenario(n_queries=50, seed=99).run()
+        wall = time.perf_counter() - t0
+        return len(result.report) / wall
+
+    rate = benchmark.pedantic(run, rounds=1, iterations=1)
+    # The 200-query figures must stay interactive: >= 2 queries/s.
+    assert rate > 2.0
+
+
+def test_miner_throughput(benchmark):
+    """SDchecker parse rate over a realistic log collection."""
+    bed = TraceScenario(n_queries=40, seed=98).run().testbed
+    lines = sum(len(bed.log_store.records(d)) for d in bed.log_store.daemons)
+
+    def run():
+        t0 = time.perf_counter()
+        report = SDChecker().analyze(bed.log_store)
+        wall = time.perf_counter() - t0
+        assert len(report) == 40
+        return lines / wall
+
+    rate = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert rate > 5_000  # lines/second

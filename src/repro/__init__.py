@@ -1,0 +1,43 @@
+"""Reproduction of *Characterizing Scheduling Delay for Low-latency
+Data Analytics Workloads* (IPDPS 2018).
+
+Two halves:
+
+* :mod:`repro.core` — **SDchecker**, the paper's contribution: an
+  offline log-mining tool that decomposes job scheduling delay from
+  YARN + Spark log files.
+* Everything else — the simulated Spark-on-YARN testbed the paper ran
+  on (discrete-event cluster, YARN RM/NM/schedulers, HDFS, Spark,
+  MapReduce, workloads), which emits the log files SDchecker mines.
+
+Quick start::
+
+    from repro import Testbed, SparkApplication, SDChecker
+    from repro.workloads import TPCHDataset, TPCHQueryWorkload
+
+    bed = Testbed(seed=1)
+    data = TPCHDataset(2 << 30)
+    bed.submit(SparkApplication("q1", TPCHQueryWorkload(data, query=1)))
+    bed.run_until_all_finished()
+    report = SDChecker().analyze(bed.log_store)
+    print(report.summary())
+"""
+
+from repro.params import SimulationParams, MB, GB
+from repro.testbed import Testbed
+from repro.spark.application import SparkApplication
+from repro.mapreduce.application import MapReduceApplication
+from repro.core.checker import SDChecker
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GB",
+    "MB",
+    "MapReduceApplication",
+    "SDChecker",
+    "SimulationParams",
+    "SparkApplication",
+    "Testbed",
+    "__version__",
+]

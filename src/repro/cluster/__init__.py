@@ -1,0 +1,7 @@
+"""Cluster hardware model: nodes, topology, and contention helpers."""
+
+from repro.cluster.node import Node
+from repro.cluster.topology import Cluster
+from repro.cluster.contention import pipelined_transfer, cpu_burst
+
+__all__ = ["Cluster", "Node", "pipelined_transfer", "cpu_burst"]

@@ -1,0 +1,80 @@
+"""Contention helpers: pipelined transfers and CPU bursts.
+
+A data transfer traverses several shared resources (source disk, source
+NIC, destination NIC, destination disk).  In a pipelined transfer the
+achieved rate at any instant is the minimum of the per-resource shares.
+We approximate this by submitting the full byte count to every resource
+on the path concurrently and completing when the slowest finishes —
+exact when shares are constant, and conservative-but-close when they
+change mid-flight.  Resources that are not a factor for a particular
+transfer (e.g. the source disk for a page-cache-resident file) are
+simply omitted from the path.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Iterable, Optional
+
+from repro.cluster.node import Node
+from repro.simul.engine import Event, Simulator
+from repro.simul.resources import FairShareResource
+
+__all__ = ["pipelined_transfer", "cpu_burst", "cold_fraction"]
+
+
+def cold_fraction(
+    node: Node, nbytes: float, page_cache_bytes: float, sensitivity: float = 3.0
+) -> float:
+    """Fraction of an ``nbytes`` read that misses the page cache.
+
+    When the node's disks are clean, anything smaller than the cache
+    budget is hot (repeatedly-localized Spark jars, freshly-written
+    class files).  Sustained *write* pressure — dfsIO streams — dirties
+    and evicts the cache, shrinking the effective budget; this is the
+    coupling that makes IO interference hit localization and JVM class
+    loading so hard in Fig 12.  Read pressure does not evict
+    recently-written hot files, which is why huge-input scans (Fig 5)
+    leave localization largely intact while dfsIO devastates it.
+    """
+    if nbytes <= 0:
+        return 0.0
+    effective = page_cache_bytes / (1.0 + sensitivity * node.write_pressure())
+    return max(0.0, nbytes - effective) / nbytes
+
+
+def pipelined_transfer(
+    sim: Simulator,
+    nbytes: float,
+    path: Iterable[FairShareResource],
+    demand: Optional[float] = None,
+) -> Event:
+    """Move ``nbytes`` across every resource in ``path`` concurrently.
+
+    Returns an event that fires when the slowest leg finishes.  ``demand``
+    caps the per-resource rate of this flow (e.g. a throttled dfsIO
+    stream); by default the flow can absorb each resource fully.
+    """
+    legs = [res.submit(nbytes, demand=demand) for res in path]
+    if not legs:
+        done = Event(sim)
+        done.succeed(0.0)
+        return done
+    if len(legs) == 1:
+        return legs[0]
+    return sim.all_of(legs)
+
+
+def cpu_burst(
+    node: Node, cpu_seconds: float, cores: float = 1.0
+) -> Generator[Event, None, float]:
+    """Process helper: run ``cpu_seconds`` of single-thread-equivalent
+    CPU work on ``node`` using up to ``cores`` parallel threads.
+
+    Work is expressed in core-seconds (``cpu_seconds`` at one core); the
+    run-queue stretches it under contention.  Returns the elapsed wall
+    time.
+    """
+    start = node.sim.now
+    if cpu_seconds > 0:
+        yield node.cpu.submit(cpu_seconds, demand=cores)
+    return node.sim.now - start

@@ -1,0 +1,76 @@
+"""Cluster topology: the set of worker nodes plus lookup helpers.
+
+The paper's testbed is flat 10 GbE (no oversubscription is mentioned),
+so the topology is a single switch tier: any pair of nodes communicates
+at min(sender NIC share, receiver NIC share).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from repro.cluster.node import Node
+from repro.params import SimulationParams
+from repro.simul.engine import SimulationError, Simulator
+
+__all__ = ["Cluster"]
+
+
+class Cluster:
+    """All worker nodes of the simulated testbed."""
+
+    def __init__(self, sim: Simulator, params: SimulationParams):
+        self.sim = sim
+        self.params = params
+        self.nodes: List[Node] = [
+            Node(
+                sim,
+                index=i,
+                cores=params.cores_per_node,
+                memory_mb=params.memory_per_node_mb,
+                disk_bandwidth=params.disk_bandwidth,
+                network_bandwidth=params.network_bandwidth,
+                page_cache_bytes=params.page_cache_bytes,
+                memory_only_fit=(params.resource_calculator == "memory"),
+            )
+            for i in range(params.num_nodes)
+        ]
+        self._by_hostname = {n.hostname: n for n in self.nodes}
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self.nodes)
+
+    def node(self, hostname: str) -> Node:
+        """Node by hostname; raises for unknown hosts."""
+        try:
+            return self._by_hostname[hostname]
+        except KeyError:
+            raise SimulationError(f"unknown host {hostname!r}") from None
+
+    # -- capacity queries --------------------------------------------------
+    def total_memory_mb(self) -> int:
+        return sum(n.memory_mb for n in self.nodes)
+
+    def total_vcores(self) -> int:
+        return sum(n.cores for n in self.nodes)
+
+    def used_memory_mb(self) -> int:
+        return sum(n.memory_mb - n.memory_available_mb for n in self.nodes)
+
+    def memory_utilization(self) -> float:
+        """Fraction of cluster memory currently reserved (0..1)."""
+        return self.used_memory_mb() / self.total_memory_mb()
+
+    def nodes_fitting(self, memory_mb: int, vcores: int) -> List[Node]:
+        """Nodes that could host a container of the given shape now."""
+        return [n for n in self.nodes if n.fits(memory_mb, vcores)]
+
+    def least_loaded(self, memory_mb: int, vcores: int) -> Optional[Node]:
+        """The fitting node with most free memory, or None."""
+        fitting = self.nodes_fitting(memory_mb, vcores)
+        if not fitting:
+            return None
+        return max(fitting, key=lambda n: (n.memory_available_mb, -n.index))

@@ -1,0 +1,66 @@
+"""Detector for allocated-but-never-used containers (section V-A).
+
+The paper found SPARK-21562 because "many containers only log states
+related to NodeManager and ResourceManager but miss states logged by
+executor, e.g., log messages 13 and 14" — i.e. Spark requested more
+containers than its actual demand.  The detector flags, per
+application, worker containers whose workflow is incomplete:
+
+* ``never_launched`` — RM-side states only (ALLOCATED/ACQUIRED/
+  RELEASED), no NM or executor log at all;
+* ``never_used`` — launched (NM RUNNING and/or a first log line) but no
+  task was ever assigned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from repro.core.events import EventKind
+from repro.core.grouping import ApplicationTrace
+
+__all__ = ["BugFinding", "find_unused_containers"]
+
+
+@dataclass(frozen=True, slots=True)
+class BugFinding:
+    """One suspicious container."""
+
+    app_id: str
+    container_id: str
+    #: "never_launched" or "never_used".
+    category: str
+    #: States that *were* observed, for the report.
+    observed_kinds: tuple
+
+    def describe(self) -> str:
+        return (
+            f"{self.container_id} ({self.category}): observed "
+            f"{', '.join(self.observed_kinds) or 'nothing'}"
+        )
+
+
+def find_unused_containers(
+    traces: Iterable[ApplicationTrace] | Dict[str, ApplicationTrace],
+) -> List[BugFinding]:
+    """Scan application traces for incomplete container workflows."""
+    if isinstance(traces, dict):
+        traces = traces.values()
+    findings: List[BugFinding] = []
+    for trace in traces:
+        for ctrace in trace.worker_containers:
+            if ctrace.time_of(EventKind.CONTAINER_ALLOCATED) is None:
+                continue  # not an RM-tracked workflow (noise)
+            observed = tuple(
+                sorted({event.kind.value for event in ctrace.events})
+            )
+            if not ctrace.was_launched:
+                findings.append(
+                    BugFinding(trace.app_id, ctrace.container_id, "never_launched", observed)
+                )
+            elif not ctrace.ran_task:
+                findings.append(
+                    BugFinding(trace.app_id, ctrace.container_id, "never_used", observed)
+                )
+    return findings

@@ -1,0 +1,53 @@
+"""The SDchecker facade: logs in, analysis report out."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.core.bugcheck import find_unused_containers
+from repro.core.decompose import decompose
+from repro.core.graph import SchedulingGraph
+from repro.core.grouping import ApplicationTrace, group_events
+from repro.core.parser import LogMiner
+from repro.core.report import AnalysisReport
+from repro.logsys.store import LogStore
+
+__all__ = ["SDChecker"]
+
+
+class SDChecker:
+    """Offline scheduling-delay analyzer for YARN + Spark log files.
+
+    Typical use::
+
+        report = SDChecker().analyze("/path/to/logs")   # or a LogStore
+        print(report.summary())
+        report.sample("total_delay").p95
+
+    The pipeline is the paper's section III: mine (regex extraction) ->
+    group (global-ID binding) -> graph (per-app scheduling DAG) ->
+    decompose (delay components) -> report (+ bug check).
+    """
+
+    def __init__(self) -> None:
+        self._miner = LogMiner()
+
+    def mine(self, source: Union[LogStore, str, Path]):
+        """Step 1: raw scheduling events."""
+        return self._miner.mine(source)
+
+    def group(self, source: Union[LogStore, str, Path]) -> Dict[str, ApplicationTrace]:
+        """Steps 1-2: per-application traces."""
+        return group_events(self.mine(source))
+
+    def graph(self, trace: ApplicationTrace) -> SchedulingGraph:
+        """Step 3: the scheduling graph of one application."""
+        return SchedulingGraph(trace)
+
+    def analyze(self, source: Union[LogStore, str, Path]) -> AnalysisReport:
+        """The full pipeline: a report over every application found."""
+        traces = self.group(source)
+        apps = [decompose(trace) for trace in traces.values()]
+        findings = find_unused_containers(traces)
+        return AnalysisReport(apps=apps, bug_findings=findings)

@@ -1,0 +1,206 @@
+"""Command-line interface: ``sdchecker <logdir>``.
+
+Offline usage exactly as the paper describes: run your applications,
+collect the YARN and application logs into a directory (one ``.log``
+file per daemon), then point SDchecker at it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.core.checker import SDChecker
+from repro.core.report import METRICS
+
+__all__ = ["main", "build_arg_parser"]
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="sdchecker",
+        description=(
+            "Decompose the job scheduling delay of Spark-on-YARN "
+            "applications from their log files."
+        ),
+    )
+    parser.add_argument("logdir", help="directory of <daemon>.log files")
+    parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    parser.add_argument(
+        "--metric",
+        choices=sorted(METRICS),
+        help="print one metric's sample instead of the full summary",
+    )
+    parser.add_argument(
+        "--percentile",
+        type=float,
+        default=95.0,
+        help="percentile reported with --metric (default 95)",
+    )
+    parser.add_argument(
+        "--graph",
+        metavar="APP_ID",
+        help="print the scheduling graph of one application as Graphviz dot",
+    )
+    parser.add_argument(
+        "--bug-check",
+        action="store_true",
+        help="only run the allocated-but-unused container detector",
+    )
+    parser.add_argument(
+        "--compare",
+        metavar="OTHER_LOGDIR",
+        help="diff this run against another log directory (slowdowns)",
+    )
+    parser.add_argument(
+        "--csv",
+        metavar="FILE",
+        help="write per-application metrics to a CSV file",
+    )
+    parser.add_argument(
+        "--containers-csv",
+        metavar="FILE",
+        help="write per-container component delays to a CSV file",
+    )
+    parser.add_argument(
+        "--cdf",
+        choices=sorted(METRICS),
+        help="render an ASCII CDF of one metric",
+    )
+    parser.add_argument(
+        "--timeline",
+        metavar="APP_ID",
+        help="render one application's scheduling timeline (Fig 10 view)",
+    )
+    parser.add_argument(
+        "--validate",
+        action="store_true",
+        help="check the logs for state-order/causality inconsistencies",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_arg_parser().parse_args(argv)
+    logdir = Path(args.logdir)
+    if not logdir.is_dir():
+        print(f"sdchecker: {logdir} is not a directory", file=sys.stderr)
+        return 2
+    checker = SDChecker()
+
+    if args.graph:
+        traces = checker.group(logdir)
+        if args.graph not in traces:
+            print(f"sdchecker: no application {args.graph!r} in logs", file=sys.stderr)
+            return 2
+        print(checker.graph(traces[args.graph]).to_dot())
+        return 0
+
+    if args.timeline:
+        from repro.core.timeline import render_timeline
+
+        traces = checker.group(logdir)
+        if args.timeline not in traces:
+            print(
+                f"sdchecker: no application {args.timeline!r} in logs", file=sys.stderr
+            )
+            return 2
+        print(render_timeline(traces[args.timeline]))
+        return 0
+
+    if args.validate:
+        from repro.core.validate import validate_traces
+
+        violations = validate_traces(checker.group(logdir))
+        for violation in violations:
+            print(violation.describe())
+        print(f"{len(violations)} violation(s)")
+        return 0 if not violations else 1
+
+    report = checker.analyze(logdir)
+
+    if args.compare:
+        other_dir = Path(args.compare)
+        if not other_dir.is_dir():
+            print(f"sdchecker: {other_dir} is not a directory", file=sys.stderr)
+            return 2
+        other = checker.analyze(other_dir)
+        print(report.compare(other, label_self="A", label_other="B"))
+        return 0
+
+    if args.csv:
+        print(f"wrote {report.to_csv(args.csv)}")
+        return 0
+
+    if args.containers_csv:
+        print(f"wrote {report.containers_to_csv(args.containers_csv)}")
+        return 0
+
+    if args.cdf:
+        print(report.sample(args.cdf).ascii_cdf())
+        return 0
+
+    if args.bug_check:
+        for finding in report.bug_findings:
+            print(f"{finding.app_id} {finding.describe()}")
+        print(f"{len(report.bug_findings)} finding(s)")
+        return 0
+
+    if args.metric:
+        sample = report.sample(args.metric)
+        if args.json:
+            print(
+                json.dumps(
+                    {
+                        "metric": args.metric,
+                        "n": len(sample),
+                        "median": sample.p50,
+                        f"p{args.percentile:g}": sample.percentile(args.percentile),
+                        "mean": sample.mean(),
+                        "std": sample.std(),
+                        "values": list(sample.values),
+                    }
+                )
+            )
+        else:
+            print(sample.describe())
+            print(f"p{args.percentile:g} = {sample.percentile(args.percentile):.3f}s")
+        return 0
+
+    if args.json:
+        payload = {
+            "applications": len(report.apps),
+            "metrics": {
+                metric: {
+                    "n": len(report.sample(metric)),
+                    "median": report.sample(metric).p50,
+                    "p95": report.sample(metric).p95,
+                    "mean": report.sample(metric).mean(),
+                    "std": report.sample(metric).std(),
+                }
+                for metric in METRICS
+                if report.sample(metric)
+            },
+            "contributions": report.component_contributions(),
+            "bug_findings": [
+                {
+                    "app_id": f.app_id,
+                    "container_id": f.container_id,
+                    "category": f.category,
+                }
+                for f in report.bug_findings
+            ],
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(report.summary())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,199 @@
+"""Delay decomposition (section III-C).
+
+From a grouped :class:`~repro.core.grouping.ApplicationTrace`, compute
+the delay metrics the paper defines:
+
+* **total scheduling delay** — application SUBMITTED to the first
+  user-defined task assignment (first FIRST_TASK across executors);
+* **AM delay** — SUBMITTED to ATTEMPT_REGISTERED (AppMaster scheduling
+  + launching + driver init);
+* **Cf / Cl delay** — SUBMITTED to the first / last worker-container
+  launch;
+* **in-application delay** — driver delay + executor delay (caused by
+  Spark);
+* **out-application delay** — total minus in-application (caused by
+  YARN);
+* **driver delay** — driver FIRST_LOG to its Registered-AM line
+  (messages 9 -> 10);
+* **executor delay** — first executor FIRST_LOG to the first task
+  assignment (messages 13 -> 14);
+* per-container **acquisition** (4 -> 5), **localization** (6 -> 7) and
+  **launching** (7 -> 8) delays, the last doubling as the NM queueing
+  delay for opportunistic containers (Fig 7b);
+* aggregated **allocation delay** (messages 11 -> 12).
+
+Every metric is ``None`` when its endpoints are missing from the logs —
+incomplete workflows are data, not errors (the SPARK-21562 bug was
+found exactly this way).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.events import EventKind
+from repro.core.grouping import ApplicationTrace, ContainerTrace
+
+__all__ = ["ContainerDelays", "ApplicationDelays", "decompose"]
+
+
+def _span(start: Optional[float], end: Optional[float]) -> Optional[float]:
+    if start is None or end is None:
+        return None
+    return end - start
+
+
+@dataclass(slots=True)
+class ContainerDelays:
+    """Per-container delay components."""
+
+    container_id: str
+    is_application_master: bool
+    instance_type: Optional[str]
+    allocated: Optional[float]
+    acquisition_delay: Optional[float]
+    localization_delay: Optional[float]
+    launching_delay: Optional[float]
+    launched_at: Optional[float]
+    first_task_at: Optional[float]
+
+    @classmethod
+    def from_trace(cls, trace: ContainerTrace) -> "ContainerDelays":
+        allocated = trace.time_of(EventKind.CONTAINER_ALLOCATED)
+        acquired = trace.time_of(EventKind.CONTAINER_ACQUIRED)
+        localizing = trace.time_of(EventKind.CONTAINER_LOCALIZING)
+        scheduled = trace.time_of(EventKind.CONTAINER_SCHEDULED)
+        running = trace.time_of(EventKind.CONTAINER_NM_RUNNING)
+        first_log = trace.time_of(EventKind.INSTANCE_FIRST_LOG)
+        launched = running if running is not None else first_log
+        return cls(
+            container_id=trace.container_id,
+            is_application_master=trace.is_application_master,
+            instance_type=trace.instance_type,
+            allocated=allocated,
+            acquisition_delay=_span(allocated, acquired),
+            localization_delay=_span(localizing, scheduled),
+            launching_delay=_span(scheduled, launched),
+            launched_at=launched,
+            first_task_at=trace.time_of(EventKind.FIRST_TASK),
+        )
+
+
+@dataclass(slots=True)
+class ApplicationDelays:
+    """The full decomposition for one application."""
+
+    app_id: str
+    submitted_at: Optional[float]
+    registered_at: Optional[float]
+    finished_at: Optional[float]
+    first_task_at: Optional[float]
+    # headline metrics
+    total_delay: Optional[float]
+    am_delay: Optional[float]
+    driver_delay: Optional[float]
+    executor_delay: Optional[float]
+    in_app_delay: Optional[float]
+    out_app_delay: Optional[float]
+    cf_delay: Optional[float]
+    cl_delay: Optional[float]
+    allocation_delay: Optional[float]
+    job_runtime: Optional[float]
+    containers: List[ContainerDelays] = field(default_factory=list)
+
+    @property
+    def cl_cf_delay(self) -> Optional[float]:
+        """Spread between first and last container launch (Fig 6b)."""
+        return _span(self.cf_delay, self.cl_delay)
+
+    @property
+    def normalized_total(self) -> Optional[float]:
+        """Total scheduling delay as a fraction of job runtime (Fig 4b)."""
+        if self.total_delay is None or not self.job_runtime:
+            return None
+        return self.total_delay / self.job_runtime
+
+    def worker_containers(self) -> List[ContainerDelays]:
+        return [c for c in self.containers if not c.is_application_master]
+
+    def complete(self) -> bool:
+        """True when the headline metrics are all measurable."""
+        return None not in (
+            self.total_delay,
+            self.am_delay,
+            self.driver_delay,
+            self.executor_delay,
+        )
+
+
+def decompose(trace: ApplicationTrace) -> ApplicationDelays:
+    """Compute every delay component for one application trace."""
+    submitted = trace.time_of(EventKind.APP_SUBMITTED)
+    registered = trace.time_of(EventKind.APP_ATTEMPT_REGISTERED)
+    finished = trace.time_of(EventKind.APP_FINISHED)
+
+    containers = [
+        ContainerDelays.from_trace(trace.containers[cid])
+        for cid in sorted(trace.containers)
+    ]
+    workers = [c for c in containers if not c.is_application_master]
+
+    # Driver delay: driver FIRST_LOG -> driver's Registered-AM line.
+    # (The register/alloc marker lines live in the driver's own log but
+    # are application-scoped, so they sit on the app-level event list.)
+    am = trace.am_container
+    driver_first_log = am.time_of(EventKind.INSTANCE_FIRST_LOG) if am else None
+    driver_registered = trace.time_of(EventKind.DRIVER_REGISTERED)
+    driver_delay = _span(driver_first_log, driver_registered)
+
+    # Executor delay: first executor FIRST_LOG -> first task assignment.
+    exec_first_logs = [
+        t
+        for t in (
+            trace.containers[c.container_id].time_of(EventKind.INSTANCE_FIRST_LOG)
+            for c in workers
+        )
+        if t is not None
+    ]
+    first_exec_log = min(exec_first_logs) if exec_first_logs else None
+    first_tasks = [c.first_task_at for c in workers if c.first_task_at is not None]
+    first_task = min(first_tasks) if first_tasks else None
+    executor_delay = _span(first_exec_log, first_task)
+
+    total = _span(submitted, first_task)
+    am_delay = _span(submitted, registered)
+    in_app = (
+        driver_delay + executor_delay
+        if driver_delay is not None and executor_delay is not None
+        else None
+    )
+    out_app = total - in_app if total is not None and in_app is not None else None
+
+    launches = [c.launched_at for c in workers if c.launched_at is not None]
+    cf = _span(submitted, min(launches)) if launches else None
+    cl = _span(submitted, max(launches)) if launches else None
+
+    # Aggregated allocation delay from the driver's marker lines.
+    allocation = _span(
+        trace.time_of(EventKind.START_ALLO), trace.time_of(EventKind.END_ALLO)
+    )
+
+    return ApplicationDelays(
+        app_id=trace.app_id,
+        submitted_at=submitted,
+        registered_at=registered,
+        finished_at=finished,
+        first_task_at=first_task,
+        total_delay=total,
+        am_delay=am_delay,
+        driver_delay=driver_delay,
+        executor_delay=executor_delay,
+        in_app_delay=in_app,
+        out_app_delay=out_app,
+        cf_delay=cf,
+        cl_delay=cl,
+        allocation_delay=allocation,
+        job_runtime=_span(submitted, finished),
+        containers=containers,
+    )

@@ -1,0 +1,84 @@
+"""Scheduling events extracted from log lines.
+
+Each :class:`SchedulingEvent` corresponds to one of the identified log
+messages of Table I (plus completion events used for job runtime).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["EventKind", "SchedulingEvent"]
+
+
+class EventKind(enum.Enum):
+    """The mined message types (numbers refer to Table I)."""
+
+    # ResourceManager log — RMAppImpl
+    APP_SUBMITTED = "APP_SUBMITTED"  # 1
+    APP_ACCEPTED = "APP_ACCEPTED"  # 2
+    APP_ATTEMPT_REGISTERED = "APP_ATTEMPT_REGISTERED"  # 3
+    APP_FINISHED = "APP_FINISHED"  # (job runtime endpoint)
+    # ResourceManager log — RMContainerImpl
+    CONTAINER_ALLOCATED = "CONTAINER_ALLOCATED"  # 4
+    CONTAINER_ACQUIRED = "CONTAINER_ACQUIRED"  # 5
+    CONTAINER_RM_RUNNING = "CONTAINER_RM_RUNNING"
+    CONTAINER_RM_COMPLETED = "CONTAINER_RM_COMPLETED"
+    CONTAINER_RELEASED = "CONTAINER_RELEASED"
+    # NodeManager log — ContainerImpl
+    CONTAINER_LOCALIZING = "CONTAINER_LOCALIZING"  # 6
+    CONTAINER_SCHEDULED = "CONTAINER_SCHEDULED"  # 7
+    CONTAINER_NM_RUNNING = "CONTAINER_NM_RUNNING"  # 8
+    # Application logs (driver / executor / MR task)
+    INSTANCE_FIRST_LOG = "INSTANCE_FIRST_LOG"  # 9 / 13
+    DRIVER_REGISTERED = "DRIVER_REGISTERED"  # 10
+    START_ALLO = "START_ALLO"  # 11
+    END_ALLO = "END_ALLO"  # 12
+    FIRST_TASK = "FIRST_TASK"  # 14
+    #: MapReduce child's "Task attempt_... is done" — the MR analogue
+    #: of message 14, so the bug detector knows the container did work.
+    MR_TASK_DONE = "MR_TASK_DONE"
+
+
+#: EventKind -> Table I message number (None for auxiliary kinds).
+TABLE_I_NUMBER = {
+    EventKind.APP_SUBMITTED: 1,
+    EventKind.APP_ACCEPTED: 2,
+    EventKind.APP_ATTEMPT_REGISTERED: 3,
+    EventKind.CONTAINER_ALLOCATED: 4,
+    EventKind.CONTAINER_ACQUIRED: 5,
+    EventKind.CONTAINER_LOCALIZING: 6,
+    EventKind.CONTAINER_SCHEDULED: 7,
+    EventKind.CONTAINER_NM_RUNNING: 8,
+    EventKind.INSTANCE_FIRST_LOG: 9,  # 9 for drivers, 13 for executors
+    EventKind.DRIVER_REGISTERED: 10,
+    EventKind.START_ALLO: 11,
+    EventKind.END_ALLO: 12,
+    EventKind.FIRST_TASK: 14,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class SchedulingEvent:
+    """One mined scheduling-relevant log message."""
+
+    kind: EventKind
+    timestamp: float
+    #: Global application ID string, when determinable.
+    app_id: Optional[str]
+    #: Global container ID string, for container-scoped events.
+    container_id: Optional[str]
+    #: Which log stream the line came from.
+    daemon: str
+    #: For INSTANCE_FIRST_LOG: the emitting class, used to classify the
+    #: instance type (Spark driver vs executor vs MR task).
+    source_class: str = ""
+    #: For INSTANCE_FIRST_LOG: the message text (refines MR map vs
+    #: reduce children via the attempt-ID m/r marker).
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        if self.app_id is None and self.container_id is None:
+            raise ValueError(f"{self.kind} event bound to no global ID")

@@ -1,0 +1,223 @@
+"""The scheduling graph (section III-C, Fig 3).
+
+For each application SDchecker builds a DAG whose nodes are the mined
+(entity, state) pairs — rectangles for YARN-caused states, circles for
+Spark-caused states in the paper's figure — with edges following both
+the per-entity state order and the cross-entity causal structure:
+
+* app SUBMITTED -> ACCEPTED -> AM container ALLOCATED -> ... -> driver
+  FIRST_LOG -> REGISTER -> app RUNNING;
+* driver REGISTER -> START_ALLO -> each worker container's
+  ALLOCATED -> ACQUIRED -> LOCALIZING -> SCHEDULED -> RUNNING ->
+  executor FIRST_LOG -> FIRST_TASK;
+* all worker ALLOCATED events -> END_ALLO.
+
+Edges carry the elapsed time between their endpoint states, so the
+longest (critical) path from SUBMITTED to the first FIRST_TASK is the
+total scheduling delay, and each edge names the component it charges.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.core.events import EventKind
+from repro.core.grouping import ApplicationTrace, ContainerTrace
+
+__all__ = ["SchedulingGraph"]
+
+#: States the paper draws as rectangles (YARN) vs circles (Spark).
+_YARN_KINDS = {
+    EventKind.APP_SUBMITTED,
+    EventKind.APP_ACCEPTED,
+    EventKind.APP_ATTEMPT_REGISTERED,
+    EventKind.APP_FINISHED,
+    EventKind.CONTAINER_ALLOCATED,
+    EventKind.CONTAINER_ACQUIRED,
+    EventKind.CONTAINER_LOCALIZING,
+    EventKind.CONTAINER_SCHEDULED,
+    EventKind.CONTAINER_NM_RUNNING,
+}
+
+_CONTAINER_ORDER = [
+    EventKind.CONTAINER_ALLOCATED,
+    EventKind.CONTAINER_ACQUIRED,
+    EventKind.CONTAINER_LOCALIZING,
+    EventKind.CONTAINER_SCHEDULED,
+    EventKind.CONTAINER_NM_RUNNING,
+    EventKind.INSTANCE_FIRST_LOG,
+    EventKind.FIRST_TASK,
+]
+
+_EDGE_COMPONENT = {
+    (EventKind.CONTAINER_ALLOCATED, EventKind.CONTAINER_ACQUIRED): "acquisition",
+    (EventKind.CONTAINER_ACQUIRED, EventKind.CONTAINER_LOCALIZING): "dispatch",
+    (EventKind.CONTAINER_LOCALIZING, EventKind.CONTAINER_SCHEDULED): "localization",
+    (EventKind.CONTAINER_SCHEDULED, EventKind.CONTAINER_NM_RUNNING): "launching",
+    (EventKind.CONTAINER_NM_RUNNING, EventKind.INSTANCE_FIRST_LOG): "startup",
+    (EventKind.INSTANCE_FIRST_LOG, EventKind.FIRST_TASK): "executor-delay",
+}
+
+
+class SchedulingGraph:
+    """The per-application scheduling DAG."""
+
+    def __init__(self, trace: ApplicationTrace):
+        self.trace = trace
+        self.graph = nx.DiGraph(app_id=trace.app_id)
+        self._build()
+
+    # -- construction ------------------------------------------------------
+    def _node(self, entity: str, kind: EventKind, timestamp: float) -> str:
+        node = f"{entity}:{kind.value}"
+        self.graph.add_node(
+            node,
+            entity=entity,
+            kind=kind.value,
+            timestamp=timestamp,
+            owner="yarn" if kind in _YARN_KINDS else "spark",
+        )
+        return node
+
+    def _edge(self, a: Optional[str], b: Optional[str], component: str) -> None:
+        if a is None or b is None or a == b:
+            return
+        dt = self.graph.nodes[b]["timestamp"] - self.graph.nodes[a]["timestamp"]
+        if dt < 0:
+            return  # never draw a backwards causal edge (clock skew guard)
+        self.graph.add_edge(a, b, weight=dt, component=component)
+
+    def _app_node(self, kind: EventKind) -> Optional[str]:
+        t = self.trace.time_of(kind)
+        if t is None:
+            return None
+        return self._node("app", kind, t)
+
+    def _container_chain(self, ctrace: ContainerTrace) -> List[str]:
+        """Add a container's state chain; returns its node names in order."""
+        nodes: List[str] = []
+        prev: Optional[str] = None
+        prev_kind: Optional[EventKind] = None
+        for kind in _CONTAINER_ORDER:
+            t = ctrace.time_of(kind)
+            if t is None:
+                continue
+            node = self._node(ctrace.container_id, kind, t)
+            if prev is not None:
+                component = _EDGE_COMPONENT.get((prev_kind, kind), "flow")
+                self._edge(prev, node, component)
+            nodes.append(node)
+            prev, prev_kind = node, kind
+        return nodes
+
+    def _build(self) -> None:
+        trace = self.trace
+        submitted = self._app_node(EventKind.APP_SUBMITTED)
+        accepted = self._app_node(EventKind.APP_ACCEPTED)
+        registered = self._app_node(EventKind.APP_ATTEMPT_REGISTERED)
+        finished = self._app_node(EventKind.APP_FINISHED)
+        start_allo = self._app_node(EventKind.START_ALLO)
+        end_allo = self._app_node(EventKind.END_ALLO)
+        driver_reg = self._app_node(EventKind.DRIVER_REGISTERED)
+
+        self._edge(submitted, accepted, "admission")
+
+        am = trace.am_container
+        am_nodes: Dict[EventKind, str] = {}
+        if am is not None:
+            chain = self._container_chain(am)
+            am_nodes = {
+                EventKind[self.graph.nodes[n]["kind"]]: n for n in chain
+            }
+            self._edge(accepted, chain[0] if chain else None, "am-scheduling")
+            self._edge(
+                am_nodes.get(EventKind.INSTANCE_FIRST_LOG), driver_reg, "driver-delay"
+            )
+        self._edge(driver_reg, registered, "registration")
+        self._edge(driver_reg, start_allo, "allocator-start")
+
+        last_allocated: List[str] = []
+        for ctrace in trace.worker_containers:
+            chain = self._container_chain(ctrace)
+            if not chain:
+                continue
+            self._edge(start_allo, chain[0], "allocation")
+            first_kind = EventKind[self.graph.nodes[chain[0]]["kind"]]
+            if first_kind is EventKind.CONTAINER_ALLOCATED:
+                last_allocated.append(chain[0])
+        for node in last_allocated:
+            self._edge(node, end_allo, "allocation-complete")
+
+        first_tasks = [
+            n for n, d in self.graph.nodes(data=True)
+            if d["kind"] == EventKind.FIRST_TASK.value
+        ]
+        for node in first_tasks:
+            self._edge(node, finished, "execution")
+
+    # -- queries --------------------------------------------------------------
+    def to_networkx(self) -> nx.DiGraph:
+        return self.graph
+
+    @property
+    def node_count(self) -> int:
+        return self.graph.number_of_nodes()
+
+    def is_dag(self) -> bool:
+        return nx.is_directed_acyclic_graph(self.graph)
+
+    def critical_path(self) -> List[Tuple[str, str, float, str]]:
+        """The longest SUBMITTED -> first-task path by elapsed time.
+
+        Returns (from_node, to_node, seconds, component) per edge; the
+        sum of the seconds is the path's share of the total scheduling
+        delay — the paper's "which component should we optimize" view.
+        """
+        source = f"app:{EventKind.APP_SUBMITTED.value}"
+        targets = sorted(
+            (
+                (d["timestamp"], n)
+                for n, d in self.graph.nodes(data=True)
+                if d["kind"] == EventKind.FIRST_TASK.value
+            ),
+        )
+        if source not in self.graph or not targets:
+            return []
+        target = targets[0][1]
+        best_path: Optional[List[str]] = None
+        best_len = -1.0
+        for path in nx.all_simple_paths(self.graph, source, target):
+            length = sum(
+                self.graph.edges[a, b]["weight"] for a, b in zip(path, path[1:])
+            )
+            if length > best_len:
+                best_len, best_path = length, path
+        if best_path is None:
+            return []
+        return [
+            (
+                a,
+                b,
+                self.graph.edges[a, b]["weight"],
+                self.graph.edges[a, b]["component"],
+            )
+            for a, b in zip(best_path, best_path[1:])
+        ]
+
+    def to_dot(self) -> str:
+        """Graphviz rendering: rectangles = YARN states, circles = Spark
+        states, matching Fig 3's convention."""
+        lines = [f'digraph "{self.trace.app_id}" {{', "  rankdir=LR;"]
+        for node, data in self.graph.nodes(data=True):
+            shape = "box" if data["owner"] == "yarn" else "ellipse"
+            label = node.replace(":", "\\n")
+            lines.append(f'  "{node}" [shape={shape}, label="{label}"];')
+        for a, b, data in self.graph.edges(data=True):
+            lines.append(
+                f'  "{a}" -> "{b}" [label="{data["component"]} '
+                f'{data["weight"]:.3f}s"];'
+            )
+        lines.append("}")
+        return "\n".join(lines)

@@ -1,0 +1,153 @@
+"""Grouping mined events by global ID (section III-C).
+
+SDchecker "binds each log event with its corresponding global ID
+(application ID or container ID), then aggregates and groups state
+transformations based on the IDs", sorting each group by timestamp.
+The result is one :class:`ApplicationTrace` per application, holding
+its app-level events and one :class:`ContainerTrace` per container.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.events import EventKind, SchedulingEvent
+from repro.core.messages import instance_type_of_class
+
+__all__ = ["ContainerTrace", "ApplicationTrace", "group_events"]
+
+_CONTAINER_KINDS = {
+    EventKind.CONTAINER_ALLOCATED,
+    EventKind.CONTAINER_ACQUIRED,
+    EventKind.CONTAINER_RM_RUNNING,
+    EventKind.CONTAINER_RM_COMPLETED,
+    EventKind.CONTAINER_RELEASED,
+    EventKind.CONTAINER_LOCALIZING,
+    EventKind.CONTAINER_SCHEDULED,
+    EventKind.CONTAINER_NM_RUNNING,
+    EventKind.INSTANCE_FIRST_LOG,
+    EventKind.FIRST_TASK,
+    EventKind.MR_TASK_DONE,
+}
+
+
+@dataclass
+class ContainerTrace:
+    """All mined events of one container, by kind (first occurrence)."""
+
+    container_id: str
+    events: List[SchedulingEvent] = field(default_factory=list)
+
+    def add(self, event: SchedulingEvent) -> None:
+        self.events.append(event)
+
+    def sort(self) -> None:
+        self.events.sort(key=lambda e: e.timestamp)
+
+    def first(self, kind: EventKind) -> Optional[SchedulingEvent]:
+        """Earliest event of ``kind``, or None."""
+        best = None
+        for event in self.events:
+            if event.kind is kind and (best is None or event.timestamp < best.timestamp):
+                best = event
+        return best
+
+    def time_of(self, kind: EventKind) -> Optional[float]:
+        event = self.first(kind)
+        return None if event is None else event.timestamp
+
+    @property
+    def is_application_master(self) -> bool:
+        """YARN convention: the AM is container #000001."""
+        return self.container_id.endswith("_000001")
+
+    @property
+    def instance_type(self) -> Optional[str]:
+        """Fig 9a code (spm/spe/mrm/mrsm/mrsr) from the first log line."""
+        first_log = self.first(EventKind.INSTANCE_FIRST_LOG)
+        if first_log is None:
+            return None
+        code = instance_type_of_class(first_log.source_class)
+        if code == "mrs":
+            # YarnChild logs the attempt ID, whose m/r marker tells map
+            # children from reduce children.
+            return "mrsr" if "_r_" in first_log.detail else "mrsm"
+        return code
+
+    @property
+    def was_launched(self) -> bool:
+        return self.time_of(EventKind.CONTAINER_NM_RUNNING) is not None or (
+            self.time_of(EventKind.INSTANCE_FIRST_LOG) is not None
+        )
+
+    @property
+    def ran_task(self) -> bool:
+        return (
+            self.time_of(EventKind.FIRST_TASK) is not None
+            or self.time_of(EventKind.MR_TASK_DONE) is not None
+        )
+
+
+@dataclass
+class ApplicationTrace:
+    """All mined events of one application."""
+
+    app_id: str
+    events: List[SchedulingEvent] = field(default_factory=list)
+    containers: Dict[str, ContainerTrace] = field(default_factory=dict)
+
+    def add(self, event: SchedulingEvent) -> None:
+        if event.kind in _CONTAINER_KINDS and event.container_id is not None:
+            self.containers.setdefault(
+                event.container_id, ContainerTrace(event.container_id)
+            ).add(event)
+        else:
+            self.events.append(event)
+
+    def sort(self) -> None:
+        self.events.sort(key=lambda e: e.timestamp)
+        for trace in self.containers.values():
+            trace.sort()
+
+    def first(self, kind: EventKind) -> Optional[SchedulingEvent]:
+        best = None
+        for event in self.events:
+            if event.kind is kind and (best is None or event.timestamp < best.timestamp):
+                best = event
+        return best
+
+    def time_of(self, kind: EventKind) -> Optional[float]:
+        event = self.first(kind)
+        return None if event is None else event.timestamp
+
+    @property
+    def am_container(self) -> Optional[ContainerTrace]:
+        for trace in self.containers.values():
+            if trace.is_application_master:
+                return trace
+        return None
+
+    @property
+    def worker_containers(self) -> List[ContainerTrace]:
+        """Non-AM containers, in container-ID order."""
+        return [
+            self.containers[cid]
+            for cid in sorted(self.containers)
+            if not self.containers[cid].is_application_master
+        ]
+
+
+def group_events(events: Iterable[SchedulingEvent]) -> Dict[str, ApplicationTrace]:
+    """Group mined events into per-application traces, sorted by time."""
+    traces: Dict[str, ApplicationTrace] = {}
+    orphans = 0
+    for event in events:
+        if event.app_id is None:
+            orphans += 1
+            continue
+        traces.setdefault(event.app_id, ApplicationTrace(event.app_id)).add(event)
+    del orphans  # tolerated: a log miner drops what it cannot bind
+    for trace in traces.values():
+        trace.sort()
+    return traces

@@ -1,0 +1,166 @@
+"""Table I: the identified log messages and their extraction regexes.
+
+SDchecker owns these patterns independently of the simulator — exactly
+as the real tool owns regexes for logs produced by Hadoop and Spark
+binaries it does not share code with.  The patterns target the stock
+log4j wording of Hadoop 3.0.0-alpha3 / Spark 2.2.0 plus the two
+SDCHECKER marker lines the paper adds to Spark's YarnAllocator
+(messages 11 and 12).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional, Tuple
+
+from repro.core.events import EventKind
+
+__all__ = [
+    "APP_ID_RE",
+    "CONTAINER_ID_RE",
+    "app_id_of_container",
+    "classify_rm_app_line",
+    "classify_rm_container_line",
+    "classify_nm_container_line",
+    "classify_driver_line",
+    "classify_first_task_line",
+    "instance_type_of_class",
+]
+
+#: Global-ID shapes (section III-C: "we group these workflows based on
+#: their global IDs, such as application ID and container IDs").
+APP_ID_RE = re.compile(r"application_\d+_\d{4,}")
+CONTAINER_ID_RE = re.compile(r"container_(?:e\d+_)?(\d+)_(\d{4,})_\d\d_\d{6}")
+
+_RMAPP_RE = re.compile(
+    r"^(?P<app>application_\d+_\d{4,}) State change from "
+    r"(?P<old>[A-Z_]+) to (?P<new>[A-Z_]+) on event = (?P<event>[A-Z_]+)$"
+)
+_RMCONTAINER_RE = re.compile(
+    r"^(?P<container>container_\S+) Container Transitioned from "
+    r"(?P<old>[A-Z_]+) to (?P<new>[A-Z_]+)$"
+)
+_NMCONTAINER_RE = re.compile(
+    r"^Container (?P<container>container_\S+) transitioned from "
+    r"(?P<old>[A-Z_]+) to (?P<new>[A-Z_]+)$"
+)
+_DRIVER_REGISTER_RE = re.compile(
+    r"^Registered ApplicationMaster for (?P<app>application_\d+_\d{4,})\b"
+)
+_START_ALLO_RE = re.compile(
+    r"^SDCHECKER START_ALLO\b.*?(?P<app>application_\d+_\d{4,})"
+)
+_END_ALLO_RE = re.compile(
+    r"^SDCHECKER END_ALLO\b.*?(?P<app>application_\d+_\d{4,})"
+)
+_FIRST_TASK_RE = re.compile(r"^Got assigned task (?P<task>\d+)$")
+_MR_TASK_DONE_RE = re.compile(r"^Task attempt_\d+_\d+_[mr]_\d+_\d+ is done$")
+
+#: RMAppImpl new-state -> event kind (messages 1-3 + job end).
+_RMAPP_STATES = {
+    "SUBMITTED": EventKind.APP_SUBMITTED,
+    "ACCEPTED": EventKind.APP_ACCEPTED,
+    "RUNNING": EventKind.APP_ATTEMPT_REGISTERED,
+    "FINISHED": EventKind.APP_FINISHED,
+}
+
+#: RMContainerImpl new-state -> event kind (messages 4-5 + lifecycle).
+_RMCONTAINER_STATES = {
+    "ALLOCATED": EventKind.CONTAINER_ALLOCATED,
+    "ACQUIRED": EventKind.CONTAINER_ACQUIRED,
+    "RUNNING": EventKind.CONTAINER_RM_RUNNING,
+    "COMPLETED": EventKind.CONTAINER_RM_COMPLETED,
+    "RELEASED": EventKind.CONTAINER_RELEASED,
+}
+
+#: ContainerImpl new-state -> event kind (messages 6-8).
+_NMCONTAINER_STATES = {
+    "LOCALIZING": EventKind.CONTAINER_LOCALIZING,
+    "SCHEDULED": EventKind.CONTAINER_SCHEDULED,
+    "RUNNING": EventKind.CONTAINER_NM_RUNNING,
+}
+
+#: First-log class substrings -> Fig 9a instance-type code.
+_INSTANCE_CLASSES = (
+    ("spark.deploy.yarn.ApplicationMaster", "spm"),
+    ("spark.executor.CoarseGrainedExecutorBackend", "spe"),
+    ("mapreduce.v2.app.MRAppMaster", "mrm"),
+    ("hadoop.mapred.YarnChild", "mrs"),  # map/reduce child; refined by caller
+)
+
+
+def app_id_of_container(container_id: str) -> Optional[str]:
+    """Derive the owning application ID from a container ID.
+
+    The container ID embeds the cluster timestamp and application
+    sequence number — the structural link SDchecker uses to group
+    container workflows under their application.
+    """
+    m = CONTAINER_ID_RE.match(container_id)
+    if m is None:
+        return None
+    return f"application_{m.group(1)}_{m.group(2)}"
+
+
+def classify_rm_app_line(message: str) -> Optional[Tuple[EventKind, str]]:
+    """(kind, app_id) for an RMAppImpl transition line, if relevant."""
+    m = _RMAPP_RE.match(message)
+    if m is None:
+        return None
+    kind = _RMAPP_STATES.get(m["new"])
+    if kind is None:
+        return None
+    return kind, m["app"]
+
+
+def classify_rm_container_line(message: str) -> Optional[Tuple[EventKind, str]]:
+    """(kind, container_id) for an RMContainerImpl transition line."""
+    m = _RMCONTAINER_RE.match(message)
+    if m is None:
+        return None
+    kind = _RMCONTAINER_STATES.get(m["new"])
+    if kind is None:
+        return None
+    return kind, m["container"]
+
+
+def classify_nm_container_line(message: str) -> Optional[Tuple[EventKind, str]]:
+    """(kind, container_id) for a NodeManager ContainerImpl line."""
+    m = _NMCONTAINER_RE.match(message)
+    if m is None:
+        return None
+    kind = _NMCONTAINER_STATES.get(m["new"])
+    if kind is None:
+        return None
+    return kind, m["container"]
+
+
+def classify_driver_line(message: str) -> Optional[Tuple[EventKind, str]]:
+    """(kind, app_id) for driver-log registration/allocation markers."""
+    for regex, kind in (
+        (_DRIVER_REGISTER_RE, EventKind.DRIVER_REGISTERED),
+        (_START_ALLO_RE, EventKind.START_ALLO),
+        (_END_ALLO_RE, EventKind.END_ALLO),
+    ):
+        m = regex.search(message)
+        if m is not None:
+            return kind, m["app"]
+    return None
+
+
+def classify_first_task_line(message: str) -> bool:
+    """True for an executor "Got assigned task N" line (message 14)."""
+    return _FIRST_TASK_RE.match(message) is not None
+
+
+def classify_mr_task_done_line(message: str) -> bool:
+    """True for a MapReduce child's task-completion line."""
+    return _MR_TASK_DONE_RE.match(message) is not None
+
+
+def instance_type_of_class(cls: str) -> Optional[str]:
+    """Fig 9a instance-type code from a first-log emitting class."""
+    for needle, code in _INSTANCE_CLASSES:
+        if needle in cls:
+            return code
+    return None

@@ -1,0 +1,165 @@
+"""The log miner: text lines in, scheduling events out.
+
+Per section III-B, SDchecker runs after the applications complete,
+collects the daemon logs, and parses them with regular expressions,
+keeping only the states critical for delay analysis.  Container log
+streams (one per launched container, as YARN's log aggregation lays
+them out) additionally yield the FIRST_LOG and FIRST_TASK events, which
+are positional: *the first line* of the stream, and *the first* "Got
+assigned task" line.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Optional, Union
+
+from repro.core import messages as msg
+from repro.core.events import EventKind, SchedulingEvent
+from repro.logsys.record import LogRecord
+from repro.logsys.store import LogStore
+
+__all__ = ["LogMiner"]
+
+_CONTAINER_DAEMON_RE = msg.CONTAINER_ID_RE
+
+
+class LogMiner:
+    """Extracts Table I events from a :class:`LogStore` or a directory."""
+
+    def mine(self, source: Union[LogStore, str, Path]) -> List[SchedulingEvent]:
+        """All scheduling events, in per-stream log order."""
+        store = (
+            source if isinstance(source, LogStore) else LogStore.load(Path(source))
+        )
+        events: List[SchedulingEvent] = []
+        for daemon in store.daemons:
+            records = store.records(daemon)
+            if not records:
+                continue
+            if _CONTAINER_DAEMON_RE.match(daemon):
+                events.extend(self._mine_container_stream(daemon, records))
+            elif daemon.startswith("hadoop-resourcemanager"):
+                events.extend(self._mine_rm_stream(daemon, records))
+            elif daemon.startswith("hadoop-nodemanager"):
+                events.extend(self._mine_nm_stream(daemon, records))
+            # Unknown streams are ignored — a miner must tolerate noise.
+        return events
+
+    # -- per-stream miners ------------------------------------------------------
+    def _mine_rm_stream(
+        self, daemon: str, records: Iterable[LogRecord]
+    ) -> List[SchedulingEvent]:
+        events: List[SchedulingEvent] = []
+        for record in records:
+            if record.cls.endswith("RMAppImpl"):
+                hit = msg.classify_rm_app_line(record.message)
+                if hit is not None:
+                    kind, app_id = hit
+                    events.append(
+                        SchedulingEvent(kind, record.timestamp, app_id, None, daemon)
+                    )
+            elif record.cls.endswith("RMContainerImpl"):
+                hit = msg.classify_rm_container_line(record.message)
+                if hit is not None:
+                    kind, container_id = hit
+                    events.append(
+                        SchedulingEvent(
+                            kind,
+                            record.timestamp,
+                            msg.app_id_of_container(container_id),
+                            container_id,
+                            daemon,
+                        )
+                    )
+        return events
+
+    def _mine_nm_stream(
+        self, daemon: str, records: Iterable[LogRecord]
+    ) -> List[SchedulingEvent]:
+        events: List[SchedulingEvent] = []
+        for record in records:
+            if not record.cls.endswith("ContainerImpl"):
+                continue
+            hit = msg.classify_nm_container_line(record.message)
+            if hit is None:
+                continue
+            kind, container_id = hit
+            events.append(
+                SchedulingEvent(
+                    kind,
+                    record.timestamp,
+                    msg.app_id_of_container(container_id),
+                    container_id,
+                    daemon,
+                )
+            )
+        return events
+
+    def _mine_container_stream(
+        self, daemon: str, records: List[LogRecord]
+    ) -> List[SchedulingEvent]:
+        """A container's own log: FIRST_LOG, driver markers, FIRST_TASK.
+
+        The NM cannot tell when the launched process is actually up (it
+        blocks on the launch script — section III-B), so the stream's
+        first line marks the successful launch (messages 9/13).
+        """
+        container_id = daemon
+        app_id = msg.app_id_of_container(container_id)
+        events: List[SchedulingEvent] = []
+        first = records[0]
+        events.append(
+            SchedulingEvent(
+                EventKind.INSTANCE_FIRST_LOG,
+                first.timestamp,
+                app_id,
+                container_id,
+                daemon,
+                source_class=first.cls,
+                detail=first.message,
+            )
+        )
+        saw_task = False
+        saw_mr_done = False
+        for record in records:
+            if not saw_task and msg.classify_first_task_line(record.message):
+                saw_task = True
+                events.append(
+                    SchedulingEvent(
+                        EventKind.FIRST_TASK,
+                        record.timestamp,
+                        app_id,
+                        container_id,
+                        daemon,
+                        source_class=record.cls,
+                    )
+                )
+                continue
+            if not saw_mr_done and msg.classify_mr_task_done_line(record.message):
+                saw_mr_done = True
+                events.append(
+                    SchedulingEvent(
+                        EventKind.MR_TASK_DONE,
+                        record.timestamp,
+                        app_id,
+                        container_id,
+                        daemon,
+                        source_class=record.cls,
+                    )
+                )
+                continue
+            hit = msg.classify_driver_line(record.message)
+            if hit is not None:
+                kind, line_app_id = hit
+                events.append(
+                    SchedulingEvent(
+                        kind,
+                        record.timestamp,
+                        line_app_id,
+                        container_id,
+                        daemon,
+                        source_class=record.cls,
+                    )
+                )
+        return events

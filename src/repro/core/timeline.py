@@ -1,0 +1,130 @@
+"""ASCII timelines of one application's scheduling workflow (Fig 10).
+
+The paper's Fig 10 shows the driver and executors as horizontal
+lifelines — solid while working, dashed while *idle waiting for the
+driver* — to explain where the executor delay goes.  This module
+renders the same view from mined log events: one row per entity, one
+column per time slice, with state-change markers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.events import EventKind
+from repro.core.grouping import ApplicationTrace, ContainerTrace
+
+__all__ = ["TimelineRow", "render_timeline"]
+
+#: Container milestones drawn on each lifeline, with their glyphs.
+_MILESTONES: Tuple[Tuple[EventKind, str, str], ...] = (
+    (EventKind.CONTAINER_ALLOCATED, "A", "allocated"),
+    (EventKind.CONTAINER_ACQUIRED, "Q", "acquired"),
+    (EventKind.CONTAINER_LOCALIZING, "L", "localizing"),
+    (EventKind.CONTAINER_SCHEDULED, "S", "scheduled"),
+    (EventKind.CONTAINER_NM_RUNNING, "R", "running"),
+    (EventKind.FIRST_TASK, "T", "first task"),
+)
+
+
+@dataclass(slots=True)
+class TimelineRow:
+    """One rendered lifeline."""
+
+    label: str
+    cells: List[str]
+
+    def render(self) -> str:
+        return f"{self.label:<12s}|{''.join(self.cells)}|"
+
+
+def _place(
+    cells: List[str], t: Optional[float], t0: float, scale: float, glyph: str
+) -> None:
+    if t is None:
+        return
+    index = min(len(cells) - 1, max(0, int((t - t0) * scale)))
+    cells[index] = glyph
+
+
+def _container_row(
+    trace: ContainerTrace,
+    label: str,
+    t0: float,
+    t_end: float,
+    width: int,
+    first_task_at: Optional[float],
+) -> TimelineRow:
+    scale = (width - 1) / max(t_end - t0, 1e-9)
+    cells = [" "] * width
+    allocated = trace.time_of(EventKind.CONTAINER_ALLOCATED)
+    running = trace.time_of(EventKind.CONTAINER_NM_RUNNING) or trace.time_of(
+        EventKind.INSTANCE_FIRST_LOG
+    )
+    own_first_task = trace.time_of(EventKind.FIRST_TASK)
+    # Lifeline: '.' from allocation to launch, '-' while idle (launched
+    # but no task yet — the paper's dashed idleness), '=' once working.
+    if allocated is not None:
+        start = int((allocated - t0) * scale)
+        stop = int(((running if running is not None else t_end) - t0) * scale)
+        for i in range(max(0, start), min(width, stop + 1)):
+            cells[i] = "."
+    if running is not None:
+        busy_from = own_first_task if own_first_task is not None else first_task_at
+        stop_idle = busy_from if busy_from is not None else t_end
+        for i in range(
+            max(0, int((running - t0) * scale)),
+            min(width, int((stop_idle - t0) * scale) + 1),
+        ):
+            cells[i] = "-"
+        if busy_from is not None:
+            for i in range(
+                max(0, int((busy_from - t0) * scale)), width
+            ):
+                cells[i] = "="
+    for kind, glyph, _name in _MILESTONES:
+        _place(cells, trace.time_of(kind), t0, scale, glyph)
+    return TimelineRow(label, cells)
+
+
+def render_timeline(trace: ApplicationTrace, width: int = 72) -> str:
+    """The Fig 10 view of one application, from its mined events."""
+    submitted = trace.time_of(EventKind.APP_SUBMITTED)
+    times = [
+        event.timestamp
+        for container in trace.containers.values()
+        for event in container.events
+    ] + [e.timestamp for e in trace.events]
+    if not times:
+        return f"{trace.app_id}: no events"
+    t0 = submitted if submitted is not None else min(times)
+    t_end = max(times)
+    if t_end <= t0:
+        t_end = t0 + 1.0
+
+    first_tasks = [
+        t
+        for c in trace.worker_containers
+        if (t := c.time_of(EventKind.FIRST_TASK)) is not None
+    ]
+    first_task_at = min(first_tasks) if first_tasks else None
+
+    rows: List[TimelineRow] = []
+    am = trace.am_container
+    if am is not None:
+        rows.append(_container_row(am, "driver", t0, t_end, width, first_task_at))
+    for i, container in enumerate(trace.worker_containers, start=1):
+        rows.append(
+            _container_row(container, f"executor-{i}", t0, t_end, width, first_task_at)
+        )
+
+    lines = [
+        f"{trace.app_id}  (0s .. {t_end - t0:.1f}s after submission)",
+        f"{'':12s}+{'-' * width}+",
+    ]
+    lines.extend(row.render() for row in rows)
+    lines.append(f"{'':12s}+{'-' * width}+")
+    legend = ", ".join(f"{glyph}={name}" for _k, glyph, name in _MILESTONES)
+    lines.append(f"  .=pending  -=idle (waiting for driver)  ==working | {legend}")
+    return "\n".join(lines)

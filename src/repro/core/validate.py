@@ -1,0 +1,137 @@
+"""Log-consistency validation.
+
+SDchecker trusts logs to reflect the schedulers' state machines; this
+module checks that trust.  For every entity it verifies that the mined
+states appear in a legal order (per the Hadoop state machines of
+section III-A) and that timestamps are monotone within an entity —
+violations indicate clock skew, log loss, or genuine scheduler bugs,
+and are exactly what an operator should look at before believing any
+delay numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.events import EventKind
+from repro.core.grouping import ApplicationTrace, ContainerTrace
+
+__all__ = ["Violation", "validate_traces", "validate_trace"]
+
+#: Legal orderings, expressed as rank maps: a state may only be
+#: preceded by states of strictly lower rank.
+_APP_ORDER: Dict[EventKind, int] = {
+    EventKind.APP_SUBMITTED: 0,
+    EventKind.APP_ACCEPTED: 1,
+    EventKind.APP_ATTEMPT_REGISTERED: 2,
+    EventKind.APP_FINISHED: 3,
+}
+
+_RM_CONTAINER_ORDER: Dict[EventKind, int] = {
+    EventKind.CONTAINER_ALLOCATED: 0,
+    EventKind.CONTAINER_ACQUIRED: 1,
+    EventKind.CONTAINER_RM_RUNNING: 2,
+    EventKind.CONTAINER_RM_COMPLETED: 3,
+}
+
+_NM_CONTAINER_ORDER: Dict[EventKind, int] = {
+    EventKind.CONTAINER_LOCALIZING: 0,
+    EventKind.CONTAINER_SCHEDULED: 1,
+    EventKind.CONTAINER_NM_RUNNING: 2,
+}
+
+#: Cross-daemon causality: (earlier kind, later kind, description).
+_CAUSAL_PAIRS: Tuple[Tuple[EventKind, EventKind, str], ...] = (
+    (
+        EventKind.CONTAINER_ACQUIRED,
+        EventKind.CONTAINER_LOCALIZING,
+        "container localizing before it was acquired",
+    ),
+    (
+        EventKind.CONTAINER_NM_RUNNING,
+        EventKind.FIRST_TASK,
+        "task assigned before the container was running",
+    ),
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Violation:
+    """One inconsistency found in the logs."""
+
+    entity: str
+    kind: str  # "order" | "monotonicity" | "causality"
+    detail: str
+
+    def describe(self) -> str:
+        return f"{self.entity} [{self.kind}]: {self.detail}"
+
+
+def _check_order(
+    entity: str,
+    events: Iterable,
+    order: Dict[EventKind, int],
+    out: List[Violation],
+) -> None:
+    """States must appear in non-decreasing rank and monotone time."""
+    last_rank: Optional[int] = None
+    last_kind: Optional[EventKind] = None
+    seen = set()
+    ranked = sorted(
+        (e for e in events if e.kind in order), key=lambda e: e.timestamp
+    )
+    for event in ranked:
+        rank = order[event.kind]
+        if event.kind in seen:
+            out.append(
+                Violation(entity, "order", f"duplicate state {event.kind.value}")
+            )
+            continue
+        seen.add(event.kind)
+        if last_rank is not None and rank < last_rank:
+            out.append(
+                Violation(
+                    entity,
+                    "order",
+                    f"{event.kind.value} after {last_kind.value}",
+                )
+            )
+        last_rank, last_kind = rank, event.kind
+
+
+def _check_causality(trace: ContainerTrace, out: List[Violation]) -> None:
+    for earlier, later, description in _CAUSAL_PAIRS:
+        t_earlier = trace.time_of(earlier)
+        t_later = trace.time_of(later)
+        if t_earlier is not None and t_later is not None and t_later < t_earlier:
+            out.append(
+                Violation(
+                    trace.container_id,
+                    "causality",
+                    f"{description} ({t_later:.3f}s < {t_earlier:.3f}s)",
+                )
+            )
+
+
+def validate_trace(trace: ApplicationTrace) -> List[Violation]:
+    """All consistency violations for one application."""
+    out: List[Violation] = []
+    _check_order(trace.app_id, trace.events, _APP_ORDER, out)
+    for container in trace.containers.values():
+        _check_order(container.container_id, container.events, _RM_CONTAINER_ORDER, out)
+        _check_order(container.container_id, container.events, _NM_CONTAINER_ORDER, out)
+        _check_causality(container, out)
+    return out
+
+
+def validate_traces(
+    traces: Dict[str, ApplicationTrace] | Iterable[ApplicationTrace],
+) -> List[Violation]:
+    """Validate every application in a grouped log collection."""
+    if isinstance(traces, dict):
+        traces = traces.values()
+    out: List[Violation] = []
+    for trace in traces:
+        out.extend(validate_trace(trace))
+    return out

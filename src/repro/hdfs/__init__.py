@@ -1,0 +1,11 @@
+"""Simulated HDFS: replicated block storage with bandwidth contention.
+
+Only the aspects the paper's delays depend on are modelled: namenode
+block lookups (client-CPU-bound, Fig 13d), replica placement, and data
+movement through the shared disk/NIC resources (localization in Fig 8,
+IO interference in Figs 5 and 12).
+"""
+
+from repro.hdfs.filesystem import Hdfs, HdfsFile
+
+__all__ = ["Hdfs", "HdfsFile"]

@@ -1,0 +1,191 @@
+"""Replicated file store with contention-aware reads and writes.
+
+Reads fan out over the file's replicas (approximating HDFS's per-block
+replica choice for multi-block files); each stream traverses the source
+disk (for the page-cache-cold fraction of the file), the source NIC and
+the client NIC.  Writes model the HDFS replication pipeline: client NIC
+plus disk+NIC on every replica.  All legs are
+:class:`~repro.simul.resources.FairShareResource` flows, so dfsIO
+writers, task input scans and localization downloads all contend for
+the same hardware — the coupling behind Figs 5 and 12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional
+
+from repro.cluster.contention import cold_fraction, pipelined_transfer
+from repro.cluster.node import Node
+from repro.cluster.topology import Cluster
+from repro.params import SimulationParams
+from repro.simul.distributions import RandomSource
+from repro.simul.engine import Event, SimulationError, Simulator
+
+__all__ = ["Hdfs", "HdfsFile"]
+
+
+@dataclass(slots=True)
+class HdfsFile:
+    """A replicated file (or a table directory treated as one blob)."""
+
+    path: str
+    size_bytes: float
+    replicas: List[Node] = field(default_factory=list)
+
+
+class Hdfs:
+    """The cluster file system service."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cluster: Cluster,
+        params: SimulationParams,
+        rng: RandomSource,
+    ):
+        self.sim = sim
+        self.cluster = cluster
+        self.params = params
+        self._rng = rng.child("hdfs")
+        self._files: Dict[str, HdfsFile] = {}
+
+    # -- namespace ---------------------------------------------------------
+    def register_file(
+        self,
+        path: str,
+        size_bytes: float,
+        replicas: Optional[List[Node]] = None,
+    ) -> HdfsFile:
+        """Create ``path`` with replica placement chosen at random."""
+        if size_bytes < 0:
+            raise SimulationError(f"negative file size for {path!r}")
+        if path in self._files:
+            raise SimulationError(f"file already exists: {path!r}")
+        if replicas is None:
+            # Multi-block files spread over many datanodes: the holder
+            # set grows with file size (~one extra node per 8 GB) up to
+            # the whole cluster, so a 200 GB table's read load lands
+            # everywhere rather than on three hot nodes.
+            spread = max(
+                self.params.hdfs_replication,
+                min(len(self.cluster.nodes), int(size_bytes / (8 * 1024**3)) + 1),
+            )
+            replicas = self._rng.sample(self.cluster.nodes, spread)
+        file = HdfsFile(path, float(size_bytes), replicas)
+        self._files[path] = file
+        return file
+
+    def lookup(self, path: str) -> HdfsFile:
+        try:
+            return self._files[path]
+        except KeyError:
+            raise SimulationError(f"no such HDFS file: {path!r}") from None
+
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    # -- data path -----------------------------------------------------------
+    def read(
+        self,
+        client: Node,
+        file: HdfsFile,
+        nbytes: Optional[float] = None,
+    ) -> Generator[Event, None, float]:
+        """Process body: read ``nbytes`` (default: whole file) to ``client``.
+
+        Includes the namenode block lookup, which is client-CPU-bound
+        (the paper's explanation for the mild localization slowdown
+        under CPU interference, Fig 13d).  Returns elapsed seconds.
+        """
+        start = self.sim.now
+        if nbytes is None:
+            nbytes = file.size_bytes
+        if nbytes < 0:
+            raise SimulationError(f"negative read size {nbytes!r}")
+        # Namenode lookup: an RPC whose client-side marshalling and
+        # response processing runs on the client CPU.
+        lookup_cpu = self.params.namenode_lookup_s
+        if lookup_cpu > 0:
+            yield client.cpu.submit(lookup_cpu, demand=1.0)
+        if nbytes == 0:
+            return self.sim.now - start
+        streams = []
+        # Per-read replica choice: each read hits `replication` sources
+        # sampled from the file's holder set (HDFS's per-block replica
+        # selection over a multi-block file).
+        holders = file.replicas or [client]
+        if len(holders) > self.params.hdfs_replication:
+            sources = self._rng.sample(holders, self.params.hdfs_replication)
+        else:
+            sources = holders
+        per_stream = nbytes / len(sources)
+        for source in sources:
+            legs = []
+            # Cache hotness is per-source and pressure-dependent: a
+            # frequently-localized jar is memory-resident on an idle
+            # datanode but evicted under dfsIO write pressure (Fig 12).
+            disk_bytes = per_stream * cold_fraction(
+                source,
+                file.size_bytes,
+                self.params.page_cache_bytes,
+                self.params.page_cache_eviction_sensitivity,
+            )
+            if disk_bytes > 0:
+                legs.append(source.disk.submit(disk_bytes))
+            if source is not client:
+                legs.append(source.nic.submit(per_stream))
+            streams.extend(legs)
+        # All streams converge on the client NIC (remote portion only).
+        remote_bytes = sum(per_stream for s in sources if s is not client)
+        if remote_bytes > 0:
+            streams.append(client.nic.submit(remote_bytes))
+        if streams:
+            yield self.sim.all_of(streams)
+        return self.sim.now - start
+
+    def write(
+        self,
+        client: Node,
+        nbytes: float,
+        demand: Optional[float] = None,
+        replicas: Optional[List[Node]] = None,
+    ) -> Generator[Event, None, float]:
+        """Process body: write ``nbytes`` through a replication pipeline.
+
+        ``demand`` caps the stream rate (dfsIO writers are throttled by
+        their map task's single-threaded producer).  Returns elapsed
+        seconds.
+        """
+        start = self.sim.now
+        if nbytes < 0:
+            raise SimulationError(f"negative write size {nbytes!r}")
+        if nbytes == 0:
+            return 0.0
+        if replicas is None:
+            # HDFS places the first replica locally when the writer is a
+            # datanode, the rest remotely.
+            remote = self._rng.sample(
+                [n for n in self.cluster.nodes if n is not client],
+                max(0, self.params.hdfs_replication - 1),
+            )
+            replicas = [client] + remote
+        path = []
+        remote_count = sum(1 for r in replicas if r is not client)
+        if remote_count:
+            path.append(client.nic)
+        for replica in replicas:
+            path.append(replica.disk)
+            if replica is not client:
+                path.append(replica.nic)
+        # Register cache-dirtying write pressure on every replica for
+        # the duration of the stream.
+        per_disk_demand = demand if demand is not None else self.params.disk_bandwidth
+        for replica in replicas:
+            replica.begin_write(per_disk_demand)
+        try:
+            yield pipelined_transfer(self.sim, nbytes, path, demand=demand)
+        finally:
+            for replica in replicas:
+                replica.end_write(per_disk_demand)
+        return self.sim.now - start

@@ -1,0 +1,13 @@
+"""Simulated Hive: metastore + TPC-H population (section IV-A).
+
+"Hive [20] is used to populate TPC-H tables in HDFS."  This package
+models that pipeline: a :class:`HiveMetastore` holding database/table
+metadata, and a population job that writes the eight TPC-H tables into
+HDFS as a real MapReduce insert (so the load traffic flows through the
+same contended disks as everything else) before registering them.
+"""
+
+from repro.hive.metastore import HiveMetastore, HiveTable
+from repro.hive.populate import HiveTpchLoader
+
+__all__ = ["HiveMetastore", "HiveTable", "HiveTpchLoader"]

@@ -1,0 +1,69 @@
+"""The Hive metastore: database/table metadata over HDFS files."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.hdfs.filesystem import HdfsFile
+from repro.simul.engine import SimulationError
+
+__all__ = ["HiveTable", "HiveMetastore"]
+
+
+@dataclass(slots=True)
+class HiveTable:
+    """One managed table: schema metadata plus its HDFS backing file."""
+
+    database: str
+    name: str
+    #: (column, type) pairs.
+    schema: Tuple[Tuple[str, str], ...]
+    file: HdfsFile
+
+    @property
+    def qualified_name(self) -> str:
+        return f"{self.database}.{self.name}"
+
+    @property
+    def size_bytes(self) -> float:
+        return self.file.size_bytes
+
+
+class HiveMetastore:
+    """In-memory metastore (the paper's Hive service, minus Thrift)."""
+
+    def __init__(self) -> None:
+        self._databases: Dict[str, Dict[str, HiveTable]] = {}
+
+    def create_database(self, name: str) -> None:
+        if name in self._databases:
+            raise SimulationError(f"database already exists: {name!r}")
+        self._databases[name] = {}
+
+    def database_exists(self, name: str) -> bool:
+        return name in self._databases
+
+    def register_table(self, table: HiveTable) -> None:
+        try:
+            tables = self._databases[table.database]
+        except KeyError:
+            raise SimulationError(f"no such database: {table.database!r}") from None
+        if table.name in tables:
+            raise SimulationError(f"table already exists: {table.qualified_name}")
+        tables[table.name] = table
+
+    def table(self, database: str, name: str) -> HiveTable:
+        try:
+            return self._databases[database][name]
+        except KeyError:
+            raise SimulationError(f"no such table: {database}.{name}") from None
+
+    def tables(self, database: str) -> List[HiveTable]:
+        try:
+            return list(self._databases[database].values())
+        except KeyError:
+            raise SimulationError(f"no such database: {database!r}") from None
+
+    def total_bytes(self, database: str) -> float:
+        return sum(t.size_bytes for t in self.tables(database))

@@ -1,0 +1,120 @@
+"""Populating TPC-H tables through Hive (a real MapReduce insert).
+
+The loader submits one MapReduce job whose map tasks stream the eight
+tables' bytes into HDFS — the same write path dfsIO uses, so the load
+traffic is visible to everything else on the cluster — then registers
+the tables in the metastore and exposes them through the same interface
+:class:`~repro.workloads.tpch.TPCHDataset` provides, so
+:class:`~repro.workloads.tpch.TPCHQueryWorkload` can query a
+Hive-populated database unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Generator, Optional
+
+from repro.hive.metastore import HiveMetastore, HiveTable
+from repro.mapreduce.application import MapReduceApplication
+from repro.simul.engine import Event, SimulationError
+from repro.workloads.tpch import TPCH_TABLES
+from repro.yarn.app import ContainerContext
+
+__all__ = ["HiveTpchLoader"]
+
+#: Minimal TPC-H column schemas (enough for metastore realism).
+_SCHEMAS: Dict[str, tuple] = {
+    "lineitem": (("l_orderkey", "bigint"), ("l_quantity", "decimal"), ("l_shipdate", "date")),
+    "orders": (("o_orderkey", "bigint"), ("o_custkey", "bigint"), ("o_totalprice", "decimal")),
+    "partsupp": (("ps_partkey", "bigint"), ("ps_suppkey", "bigint"), ("ps_availqty", "int")),
+    "part": (("p_partkey", "bigint"), ("p_name", "string"), ("p_retailprice", "decimal")),
+    "customer": (("c_custkey", "bigint"), ("c_name", "string"), ("c_acctbal", "decimal")),
+    "supplier": (("s_suppkey", "bigint"), ("s_name", "string"), ("s_acctbal", "decimal")),
+    "nation": (("n_nationkey", "int"), ("n_name", "string")),
+    "region": (("r_regionkey", "int"), ("r_name", "string")),
+}
+
+#: Bytes each insert map task writes (one Hive reducer file's worth).
+_BYTES_PER_MAP = 2 * 1024**3
+
+
+class HiveTpchLoader:
+    """Builds and tracks one TPC-H population job."""
+
+    def __init__(self, database: str, total_bytes: float, metastore: Optional[HiveMetastore] = None):
+        if total_bytes <= 0:
+            raise SimulationError("total_bytes must be positive")
+        self.database = database
+        self.total_bytes = float(total_bytes)
+        self.metastore = metastore if metastore is not None else HiveMetastore()
+        self._tables: Dict[str, HiveTable] = {}
+        self._loaded = False
+
+    # -- the population job ----------------------------------------------------
+    def submit(self, bed) -> Event:
+        """Submit the insert job to ``bed``; returns its FINISHED event."""
+        if not self.metastore.database_exists(self.database):
+            self.metastore.create_database(self.database)
+        num_maps = max(1, math.ceil(self.total_bytes / _BYTES_PER_MAP))
+        app = MapReduceApplication(
+            f"hive-insert-{self.database}",
+            num_maps=num_maps,
+            map_body=self._insert_map_body(num_maps),
+        )
+        finished = bed.submit(app)
+        finished.callbacks.append(lambda _ev: self._register(bed))
+        return finished
+
+    def _insert_map_body(self, num_maps: int):
+        per_map = self.total_bytes / num_maps
+
+        def body(
+            app: MapReduceApplication, ctx: ContainerContext, index: int
+        ) -> Generator[Event, Any, None]:
+            # A Hive insert map: generate rows (CPU) then stream to HDFS.
+            yield ctx.node.cpu.submit(per_map / (200 * 1024**2), demand=1.0)
+            yield from ctx.services.hdfs.write(ctx.node, per_map)
+
+        return body
+
+    def _register(self, bed) -> None:
+        """Create the table files + metastore entries after the load."""
+        for name, fraction in TPCH_TABLES.items():
+            file = bed.hdfs.register_file(
+                f"/user/hive/warehouse/{self.database}.db/{name}",
+                max(1.0, self.total_bytes * fraction),
+            )
+            self._tables[name] = HiveTable(
+                database=self.database,
+                name=name,
+                schema=_SCHEMAS[name],
+                file=file,
+            )
+            self.metastore.register_table(self._tables[name])
+        self._loaded = True
+
+    # -- TPCHDataset-compatible interface ------------------------------------
+    @property
+    def loaded(self) -> bool:
+        return self._loaded
+
+    @property
+    def tables(self) -> Dict[str, Any]:
+        """table name -> HDFS file (the TPCHDataset contract)."""
+        self._require_loaded()
+        return {name: table.file for name, table in self._tables.items()}
+
+    def table(self, name: str):
+        self._require_loaded()
+        return self._tables[name].file
+
+    def prepare(self, services) -> None:
+        """TPCHDataset contract: tables must already be populated."""
+        self._require_loaded()
+
+    def _require_loaded(self) -> None:
+        if not self._loaded:
+            raise SimulationError(
+                f"TPC-H database {self.database!r} not populated yet — "
+                "run the insert job to completion first"
+            )

@@ -1,0 +1,24 @@
+"""Log4j-style logging substrate.
+
+The simulated daemons (ResourceManager, NodeManagers, Spark drivers and
+executors) emit :class:`LogRecord` entries rendered exactly in the
+log4j layout the paper mines::
+
+    2018-01-12 10:23:45,123 INFO ClassName: message
+
+with 1 millisecond timestamp precision — the stated precision limit of
+SDchecker.  A :class:`LogStore` holds one stream per daemon and can be
+round-tripped through plain ``.log`` text files so that SDchecker always
+operates on rendered text, never on simulator internals.
+"""
+
+from repro.logsys.record import LogRecord, format_timestamp, parse_timestamp
+from repro.logsys.store import DaemonLogger, LogStore
+
+__all__ = [
+    "DaemonLogger",
+    "LogRecord",
+    "LogStore",
+    "format_timestamp",
+    "parse_timestamp",
+]

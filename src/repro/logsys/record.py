@@ -1,0 +1,93 @@
+"""Log records and the log4j timestamp format.
+
+Timestamps are simulated seconds since an arbitrary epoch; rendering
+converts them to the log4j default layout ``yyyy-MM-dd HH:mm:ss,SSS``
+with millisecond precision.  Parsing inverts the rendering, losing any
+sub-millisecond component — matching the paper's statement that "each
+timestamp has a precision of 1 millisecond, which is also the precision
+of SDchecker".
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+__all__ = ["LogRecord", "format_timestamp", "parse_timestamp", "EPOCH_LABEL"]
+
+#: Rendered date for simulation time zero.  Any fixed date works; we pick
+#: one in the paper's submission year for flavour.
+EPOCH_LABEL = "2018-01-12"
+
+#: Seconds in a day, used to roll the rendered clock past midnight.
+_DAY = 86_400
+
+_LINE_RE = re.compile(
+    r"^(?P<date>\d{4}-\d{2}-\d{2}) "
+    r"(?P<time>\d{2}:\d{2}:\d{2}),(?P<millis>\d{3}) "
+    r"(?P<level>[A-Z]+) +"
+    r"(?P<cls>[\w.$\-]+): (?P<message>.*)$"
+)
+
+
+def format_timestamp(sim_seconds: float) -> str:
+    """Render simulated seconds as ``yyyy-MM-dd HH:mm:ss,SSS``.
+
+    The simulated clock starts at midnight of :data:`EPOCH_LABEL`; runs
+    longer than 24 h roll the day-of-month forward (sufficient for the
+    month-long traces these experiments never reach).
+    """
+    if sim_seconds < 0:
+        raise ValueError(f"negative simulation time {sim_seconds!r}")
+    millis_total = int(round(sim_seconds * 1000.0))
+    days, rem = divmod(millis_total, _DAY * 1000)
+    secs, millis = divmod(rem, 1000)
+    hours, rem_s = divmod(secs, 3600)
+    minutes, seconds = divmod(rem_s, 60)
+    year, month, day = (int(x) for x in EPOCH_LABEL.split("-"))
+    return (
+        f"{year:04d}-{month:02d}-{day + days:02d} "
+        f"{hours:02d}:{minutes:02d}:{seconds:02d},{millis:03d}"
+    )
+
+
+def parse_timestamp(date: str, time: str, millis: str) -> float:
+    """Invert :func:`format_timestamp` back to simulated seconds."""
+    year, month, day = (int(x) for x in date.split("-"))
+    base_year, base_month, base_day = (int(x) for x in EPOCH_LABEL.split("-"))
+    if (year, month) != (base_year, base_month):
+        raise ValueError(f"timestamp {date} outside the simulated epoch month")
+    days = day - base_day
+    hours, minutes, seconds = (int(x) for x in time.split(":"))
+    return days * _DAY + hours * 3600 + minutes * 60 + seconds + int(millis) / 1000.0
+
+
+@dataclass(frozen=True, slots=True)
+class LogRecord:
+    """One log line: (timestamp, level, emitting class, message)."""
+
+    timestamp: float
+    cls: str
+    message: str
+    level: str = field(default="INFO")
+
+    def render(self) -> str:
+        """The log4j text line for this record."""
+        return f"{format_timestamp(self.timestamp)} {self.level} {self.cls}: {self.message}"
+
+    @classmethod
+    def parse(cls, line: str) -> "LogRecord":
+        """Parse a rendered log4j line; raises ValueError on mismatch."""
+        m = _LINE_RE.match(line.rstrip("\n"))
+        if m is None:
+            raise ValueError(f"unparseable log line: {line!r}")
+        ts = parse_timestamp(m["date"], m["time"], m["millis"])
+        return cls(timestamp=ts, cls=m["cls"], message=m["message"], level=m["level"])
+
+    @classmethod
+    def try_parse(cls, line: str) -> "LogRecord | None":
+        """Parse, returning None for non-log lines (stack traces etc.)."""
+        try:
+            return cls.parse(line)
+        except ValueError:
+            return None

@@ -1,0 +1,119 @@
+"""Per-daemon log streams and directory round-tripping.
+
+The store mirrors a real Hadoop log collection: one file for the
+ResourceManager, one per NodeManager, and one per container (the Spark
+driver's and each executor's stdout/stderr aggregation).  File names
+follow the ``<daemon>.log`` convention so a directory of logs produced
+by :meth:`LogStore.dump` is exactly what SDchecker's offline CLI
+consumes.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Dict, Iterable, Iterator, List
+
+from repro.logsys.record import LogRecord
+
+__all__ = ["DaemonLogger", "LogStore"]
+
+
+class DaemonLogger:
+    """Bound logger for one daemon; stamps records with simulated time."""
+
+    def __init__(self, store: "LogStore", daemon: str, clock: Callable[[], float]):
+        self._store = store
+        self.daemon = daemon
+        self._clock = clock
+
+    def info(self, cls: str, message: str) -> LogRecord:
+        return self.log("INFO", cls, message)
+
+    def warn(self, cls: str, message: str) -> LogRecord:
+        return self.log("WARN", cls, message)
+
+    def error(self, cls: str, message: str) -> LogRecord:
+        return self.log("ERROR", cls, message)
+
+    def log(self, level: str, cls: str, message: str) -> LogRecord:
+        record = LogRecord(timestamp=self._clock(), cls=cls, message=message, level=level)
+        self._store.append(self.daemon, record)
+        return record
+
+
+class LogStore:
+    """All log streams of one simulated cluster run."""
+
+    def __init__(self):
+        self._streams: Dict[str, List[LogRecord]] = {}
+
+    # -- writing ---------------------------------------------------------
+    def logger(self, daemon: str, clock: Callable[[], float]) -> DaemonLogger:
+        """A :class:`DaemonLogger` writing to the ``daemon`` stream."""
+        self._streams.setdefault(daemon, [])
+        return DaemonLogger(self, daemon, clock)
+
+    def append(self, daemon: str, record: LogRecord) -> None:
+        self._streams.setdefault(daemon, []).append(record)
+
+    # -- reading ---------------------------------------------------------
+    @property
+    def daemons(self) -> List[str]:
+        """Names of all streams, sorted for determinism."""
+        return sorted(self._streams)
+
+    def records(self, daemon: str) -> List[LogRecord]:
+        """Records of one stream in emission order."""
+        return list(self._streams.get(daemon, []))
+
+    def all_records(self) -> Iterator[tuple[str, LogRecord]]:
+        """(daemon, record) pairs across all streams, per-stream order."""
+        for daemon in self.daemons:
+            for record in self._streams[daemon]:
+                yield daemon, record
+
+    def render(self, daemon: str) -> List[str]:
+        """The rendered text lines of one stream."""
+        return [r.render() for r in self._streams.get(daemon, [])]
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._streams.values())
+
+    # -- file round-trip ---------------------------------------------------
+    def dump(self, directory: str | Path) -> List[Path]:
+        """Write each stream to ``<directory>/<daemon>.log``."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        written = []
+        for daemon in self.daemons:
+            path = directory / f"{daemon}.log"
+            path.write_text("\n".join(self.render(daemon)) + "\n")
+            written.append(path)
+        return written
+
+    @classmethod
+    def load(cls, directory: str | Path) -> "LogStore":
+        """Read every ``*.log`` file in ``directory`` back into a store.
+
+        Unparseable lines (stack traces, wrapped output) are skipped, as
+        a log miner must.
+        """
+        store = cls()
+        directory = Path(directory)
+        for path in sorted(directory.glob("*.log")):
+            daemon = path.stem
+            for line in path.read_text().splitlines():
+                record = LogRecord.try_parse(line)
+                if record is not None:
+                    store.append(daemon, record)
+        return store
+
+    @classmethod
+    def from_lines(cls, named_lines: Iterable[tuple[str, str]]) -> "LogStore":
+        """Build a store from (daemon, text-line) pairs."""
+        store = cls()
+        for daemon, line in named_lines:
+            record = LogRecord.try_parse(line)
+            if record is not None:
+                store.append(daemon, record)
+        return store

@@ -1,0 +1,12 @@
+"""Simulated MapReduce on YARN.
+
+MapReduce serves three roles in the paper's evaluation: the cluster
+load generator for the acquisition-delay and throughput experiments
+(Fig 7c, Table II — wordcount with scaled inputs), the IO-interference
+generator (Fig 12 — dfsIO writers), and two more instance types for the
+launching-delay comparison (Fig 9a — mrm/mrsm/mrsr).
+"""
+
+from repro.mapreduce.application import MapReduceApplication
+
+__all__ = ["MapReduceApplication"]

@@ -1,0 +1,161 @@
+"""A MapReduce application: AM + map/reduce task containers.
+
+Task behaviour is pluggable through ``map_body``/``reduce_body`` so the
+same application class covers the wordcount load generator (tasks hold
+resources and burn CPU) and dfsIO (tasks stream writes into HDFS, the
+Fig 12 interference source).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, List, Optional
+
+from repro.simul.engine import Event
+from repro.yarn.app import ContainerContext, YarnApplication
+from repro.yarn.records import ExecutionType, LaunchSpec, ResourceRequest, ResourceSpec
+
+__all__ = ["MapReduceApplication"]
+
+_AM_CLS = "org.apache.hadoop.mapreduce.v2.app.MRAppMaster"
+_CHILD_CLS = "org.apache.hadoop.mapred.YarnChild"
+_TASK_CLS = "org.apache.hadoop.mapred.Task"
+
+#: Body signature: (app, ctx, task_index) -> process generator.
+TaskBody = Callable[["MapReduceApplication", ContainerContext, int], Any]
+
+
+def default_map_body(
+    app: "MapReduceApplication", ctx: ContainerContext, index: int
+) -> Generator[Event, Any, None]:
+    """Wordcount-style map: scan + CPU for a lognormal duration."""
+    params = ctx.services.params
+    rng = ctx.services.rng.child(f"map.{ctx.container_id}")
+    duration = rng.lognormal_median(
+        params.map_task_duration_median_s, params.map_task_duration_sigma
+    )
+    cpu_part = duration * 0.6
+    yield ctx.node.cpu.submit(cpu_part, demand=1.0)
+    yield ctx.sim.timeout(duration - cpu_part)
+
+
+class MapReduceApplication(YarnApplication):
+    """One MapReduce job (wordcount by default)."""
+
+    AM_INSTANCE_TYPE = "mrm"
+
+    def __init__(
+        self,
+        name: str,
+        num_maps: int,
+        num_reduces: int = 0,
+        map_body: Optional[TaskBody] = None,
+        reduce_body: Optional[TaskBody] = None,
+        opportunistic: bool = False,
+        docker: bool = False,
+        user: str = "ubuntu",
+    ):
+        super().__init__(name, user=user)
+        if num_maps < 1:
+            raise ValueError("num_maps must be >= 1")
+        self.num_maps = num_maps
+        self.num_reduces = num_reduces
+        self.map_body = map_body or default_map_body
+        self.reduce_body = reduce_body or default_map_body
+        self.opportunistic = opportunistic
+        self.docker = docker
+        self.milestones: dict = {}
+
+    def am_heartbeat_intervals(self, params):
+        # The flat 1 s MapReduce default — Fig 7c's acquisition cap.
+        return (params.mr_am_heartbeat_s, params.mr_am_heartbeat_s)
+
+    def task_spec(self, params) -> ResourceSpec:
+        return ResourceSpec(params.map_container_memory_mb, params.map_container_vcores)
+
+    def run_application_master(
+        self, ctx: ContainerContext
+    ) -> Generator[Event, Any, None]:
+        sim = ctx.sim
+        params = ctx.services.params
+        rng = ctx.services.rng.child(f"mr.{self.app_id}")
+        ctx.logger.info(_AM_CLS, f"Created MRAppMaster for application {self.app_id}")
+        self.milestones["am_first_log"] = sim.now
+
+        # Job init (split computation, committer setup).
+        init = rng.lognormal_median(0.9, 0.3)
+        cpu_part = init * 0.7
+        yield ctx.node.cpu.submit(cpu_part, demand=1.0)
+        yield sim.timeout(init - cpu_part)
+        yield from ctx.am_client.register()
+        ctx.logger.info(_AM_CLS, f"Registered MRAppMaster for {self.app_id}")
+        self.milestones["am_registered"] = sim.now
+
+        execution_type = (
+            ExecutionType.OPPORTUNISTIC if self.opportunistic else ExecutionType.GUARANTEED
+        )
+        yield from self._run_phase(
+            ctx, "map", self.num_maps, "mrsm", self.map_body, execution_type
+        )
+        if self.num_reduces > 0:
+            yield from self._run_phase(
+                ctx, "reduce", self.num_reduces, "mrsr", self.reduce_body, execution_type
+            )
+        self.milestones["job_done"] = sim.now
+        yield from ctx.am_client.unregister()
+
+    def _run_phase(
+        self,
+        ctx: ContainerContext,
+        phase: str,
+        count: int,
+        instance_type: str,
+        body: TaskBody,
+        execution_type: ExecutionType,
+    ) -> Generator[Event, Any, None]:
+        """Request ``count`` containers, run all tasks, wait for them."""
+        sim = ctx.sim
+        params = ctx.services.params
+        ctx.am_client.request_containers(
+            ResourceRequest(self.task_spec(params), count, execution_type)
+        )
+        task_procs: List = []
+        for index in range(count):
+            grant = yield ctx.am_client.allocated.get()
+            spec = LaunchSpec(
+                instance_type=instance_type,
+                run=self._task_runner(body, index, phase),
+                files=list(self.payload_files),
+                docker=self.docker,
+            )
+            # Container launches go through the AM's ContainerLauncher
+            # thread pool: concurrent, not serialized on the AM loop.
+            container_proc = ctx.services.rm.nm_for(grant.node).start_container(
+                grant, spec, self
+            )
+            task_procs.append(container_proc)
+        yield sim.all_of(task_procs)
+        self.milestones[f"{phase}_done"] = sim.now
+
+    def _task_runner(self, body: TaskBody, index: int, phase: str = "map"):
+        def run(task_ctx: ContainerContext):
+            return self._task_body(task_ctx, body, index, phase)
+
+        return run
+
+    def _task_body(
+        self, task_ctx: ContainerContext, body: TaskBody, index: int, phase: str
+    ) -> Generator[Event, Any, None]:
+        # The attempt ID carries the m/r marker — how SDchecker tells
+        # map children from reduce children in Fig 9a.
+        kind = "m" if phase == "map" else "r"
+        attempt = (
+            f"attempt_{self.app_id.cluster_timestamp}_{self.app_id.app_seq:04d}"
+            f"_{kind}_{index:06d}_0"
+        )
+        task_ctx.logger.info(
+            _CHILD_CLS,
+            f"Executing with tokens for {attempt} in container "
+            f"{task_ctx.container_id}",
+        )
+        yield from body(self, task_ctx, index)
+        task_ctx.logger.info(_TASK_CLS, f"Task {attempt} is done")

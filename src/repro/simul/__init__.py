@@ -1,0 +1,35 @@
+"""Discrete-event simulation engine.
+
+A small, dependency-free, generator-based DES kernel in the style of
+SimPy, plus the shared-resource models (fair-share bandwidth, CPU
+run-queues) that the cluster substrate is built on, and seeded random
+distribution helpers for reproducible experiments.
+"""
+
+from repro.simul.engine import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+from repro.simul.resources import FairShareResource, Resource, Store
+from repro.simul.distributions import RandomSource
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "FairShareResource",
+    "Interrupt",
+    "Process",
+    "RandomSource",
+    "Resource",
+    "SimulationError",
+    "Simulator",
+    "Store",
+    "Timeout",
+]

@@ -1,0 +1,17 @@
+"""Simulated Spark 2.2 on YARN.
+
+The in-application half of the two-level design (section II): the
+driver (ApplicationMaster) that initializes the SparkContext, requests
+executors through :class:`~repro.yarn.app.AMRMClient`, runs the user's
+initialization code (per-file RDD + broadcast creation — the executor
+delay of section IV-D), and schedules tasks once 80% of executors have
+registered; and the executors whose FIRST_LOG/FIRST_TASK log lines are
+Table I messages 13 and 14.
+"""
+
+from repro.spark.application import SparkApplication
+from repro.spark.executor import SparkExecutor, STOP
+from repro.spark.tasks import StageSpec, Task
+from repro.spark.workload import SparkWorkload
+
+__all__ = ["STOP", "SparkApplication", "SparkExecutor", "SparkWorkload", "StageSpec", "Task"]

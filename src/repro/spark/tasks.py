@@ -1,0 +1,86 @@
+"""Stages and tasks: the unit of in-application scheduling."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator, Optional, TYPE_CHECKING
+
+from repro.simul.engine import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.hdfs.filesystem import HdfsFile
+    from repro.yarn.app import ContainerContext
+
+__all__ = ["StageSpec", "Task"]
+
+
+@dataclass(slots=True)
+class StageSpec:
+    """One stage of a Spark job.
+
+    ``input_file`` is set for scan stages (stage-1 table reads, which
+    flow through HDFS and therefore contend with cluster IO — the
+    self-interference of Fig 5); shuffle/aggregate stages have
+    ``bytes_per_task`` zero and are pure compute.
+    """
+
+    name: str
+    n_tasks: int
+    cpu_seconds_per_task: float
+    bytes_per_task: float = 0.0
+    input_file: Optional["HdfsFile"] = None
+    #: Override of params.task_cpu_fraction (Kmeans stages are ~all CPU).
+    cpu_fraction: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.n_tasks < 1:
+            raise ValueError(f"stage {self.name!r} has no tasks")
+        if self.cpu_seconds_per_task < 0 or self.bytes_per_task < 0:
+            raise ValueError(f"stage {self.name!r} has negative work")
+
+
+@dataclass(slots=True)
+class Task:
+    """One task instance dispatched to an executor worker."""
+
+    task_id: int
+    stage: StageSpec
+    #: Per-task duration noise factor drawn by the driver.
+    noise: float = 1.0
+    #: CPU demand of the task thread (cores).
+    demand: float = 1.0
+    #: Attempts made so far (failure injection / retries).
+    attempts: int = 0
+    finished_at: Optional[float] = None
+
+    def execute(
+        self, ctx: "ContainerContext", completion: float = 1.0
+    ) -> Generator[Event, Any, None]:
+        """Process body: run (a fraction of) the task on the node.
+
+        ``completion`` < 1 models an attempt that fails mid-flight: the
+        work done before the failure still consumed resources.
+        """
+        sim = ctx.sim
+        params = ctx.services.params
+        self.attempts += 1
+        yield sim.timeout(params.task_overhead_s * self.noise)
+        if self.stage.bytes_per_task > 0 and self.stage.input_file is not None:
+            yield from ctx.services.hdfs.read(
+                ctx.node,
+                self.stage.input_file,
+                nbytes=self.stage.bytes_per_task * completion,
+            )
+        cpu = self.stage.cpu_seconds_per_task * self.noise * completion
+        fraction = (
+            self.stage.cpu_fraction
+            if self.stage.cpu_fraction is not None
+            else params.task_cpu_fraction
+        )
+        cpu_part = cpu * fraction
+        if cpu_part > 0:
+            yield ctx.node.cpu.submit(cpu_part, demand=self.demand)
+        if cpu > cpu_part:
+            yield sim.timeout(cpu - cpu_part)
+        if completion >= 1.0:
+            self.finished_at = sim.now

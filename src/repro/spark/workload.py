@@ -1,0 +1,44 @@
+"""The Spark workload interface.
+
+A workload tells the driver what the *user code* does: which input
+files it opens during initialization (each one costs an RDD + broadcast
+creation on the scheduling critical path — section IV-D), whether it is
+a Spark-SQL query (catalyst planning cost), and what stages/tasks the
+job runs once scheduled.
+"""
+
+from __future__ import annotations
+
+from typing import List, TYPE_CHECKING
+
+from repro.spark.tasks import StageSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.hdfs.filesystem import HdfsFile
+    from repro.spark.application import SparkApplication
+
+__all__ = ["SparkWorkload"]
+
+
+class SparkWorkload:
+    """Base class for a simulated Spark program."""
+
+    #: Spark-SQL workloads pay catalyst query planning (Fig 11a).
+    is_sql: bool = False
+
+    def prepare(self, services) -> None:
+        """Register input data in HDFS.  Called once at submission."""
+        raise NotImplementedError
+
+    @property
+    def input_files(self) -> List["HdfsFile"]:
+        """Files the user code opens during initialization.
+
+        One RDD + one broadcast variable is created per entry; repeats
+        are allowed (the Fig 11b opened-files sweep doubles this list).
+        """
+        raise NotImplementedError
+
+    def build_stages(self, services, app: "SparkApplication") -> List[StageSpec]:
+        """The job's stages, sized for ``app``'s executor fleet."""
+        raise NotImplementedError

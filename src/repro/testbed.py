@@ -1,0 +1,120 @@
+"""The assembled simulated testbed: one object wiring every substrate.
+
+A :class:`Testbed` builds the whole stack the paper's 26-node cluster
+provided — simulation clock, nodes, HDFS, ResourceManager with the
+chosen scheduler(s), one NodeManager per node, and the log store that
+collects every daemon's log4j output.  Experiments submit applications
+to it, run the clock, and hand the rendered logs to SDchecker.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional
+
+from repro.cluster.topology import Cluster
+from repro.hdfs.filesystem import Hdfs
+from repro.logsys.store import LogStore
+from repro.params import SimulationParams
+from repro.simul.distributions import RandomSource
+from repro.simul.engine import Event, SimulationError, Simulator
+from repro.yarn.capacity_scheduler import CapacityScheduler
+from repro.yarn.fair_scheduler import FairScheduler
+from repro.yarn.node_manager import NodeManager
+from repro.yarn.opportunistic_scheduler import OpportunisticScheduler
+from repro.yarn.resource_manager import ResourceManager
+from repro.yarn.app import YarnApplication
+
+__all__ = ["Testbed"]
+
+
+class Testbed:
+    """The full simulated Spark-on-YARN deployment."""
+
+    def __init__(
+        self,
+        params: Optional[SimulationParams] = None,
+        seed: int = 0,
+        distributed_scheduling: bool = False,
+        scheduler: str = "capacity",
+    ):
+        self.params = params if params is not None else SimulationParams()
+        self.sim = Simulator()
+        self.rng = RandomSource(seed)
+        self.log_store = LogStore()
+        self.cluster = Cluster(self.sim, self.params)
+        self.hdfs = Hdfs(self.sim, self.cluster, self.params, self.rng)
+        if scheduler == "capacity":
+            scheduler_factory = CapacityScheduler
+        elif scheduler == "fair":
+            scheduler_factory = FairScheduler
+        else:
+            raise SimulationError(f"unknown scheduler {scheduler!r}")
+        self.rm = ResourceManager(
+            self,
+            scheduler_factory=scheduler_factory,
+            opportunistic_factory=(
+                OpportunisticScheduler if distributed_scheduling else None
+            ),
+        )
+        for node in self.cluster:
+            self.rm.register_node_manager(NodeManager(self.rm, node))
+        self.applications: List[YarnApplication] = []
+
+    # -- running workloads ---------------------------------------------------
+    def submit(self, app: YarnApplication, delay: float = 0.0) -> Event:
+        """Submit ``app`` now or after ``delay``; returns FINISHED event."""
+        self.applications.append(app)
+        if delay <= 0.0:
+            return self.rm.submit_application(app)
+        finished_proxy = self.sim.event()
+
+        def _later():
+            self.rm.submit_application(app).callbacks.append(
+                lambda ev: finished_proxy.succeed(ev.value)
+            )
+
+        self.sim.call_at(self.sim.now + delay, _later)
+        return finished_proxy
+
+    def run_until_all_finished(self, limit: float = 1e7) -> float:
+        """Advance the clock until every submitted app is FINISHED.
+
+        Daemon heartbeat loops run forever, so the heap never drains;
+        we step until the last application's FINISHED event fires.
+        ``limit`` (simulated seconds) guards against deadlocked
+        scenarios.  Returns the finish time of the last application.
+        """
+        if not self.applications:
+            return self.sim.now
+
+        def all_done() -> bool:
+            # Wait for *processed*, not merely triggered: callbacks on
+            # the FINISHED events (delayed-submission proxies, user
+            # hooks) must have run before we stop stepping.
+            return all(
+                a.finished is not None and a.finished.processed
+                for a in self.applications
+            )
+
+        while not all_done():
+            if self.sim.peek() > limit:
+                unfinished = [
+                    str(a) for a in self.applications
+                    if a.finished is None or not a.finished.triggered
+                ]
+                raise SimulationError(
+                    f"simulated time limit {limit}s exceeded; unfinished: "
+                    f"{unfinished[:5]} (+{max(0, len(unfinished) - 5)} more)"
+                )
+            self.sim.step()
+        return self.sim.now
+
+    def run(self, until: float) -> None:
+        """Advance the clock to ``until`` regardless of app completion."""
+        self.sim.run(until=until)
+
+    # -- log output --------------------------------------------------------------
+    def dump_logs(self, directory: str | Path) -> List[Path]:
+        """Write all daemon logs as ``.log`` files for offline mining."""
+        return self.log_store.dump(directory)

@@ -1,0 +1,29 @@
+"""Workloads used by the paper's evaluation.
+
+* TPC-H on Spark-SQL — the low-latency analytics workload under study.
+* Spark wordcount — the in-application-delay comparison point (Fig 11a).
+* Kmeans (HiBench-style) — the CPU interference generator (Fig 13).
+* dfsIO — the HDFS-write IO interference generator (Fig 12).
+* MapReduce wordcount — the cluster load generator (Fig 7, Table II).
+* google-trace arrivals — the production submission pattern.
+"""
+
+from repro.workloads.tpch import TPCHDataset, TPCHQueryWorkload, TPCH_TABLES, TPCH_QUERIES
+from repro.workloads.wordcount import WordCountWorkload, make_mr_wordcount
+from repro.workloads.kmeans import KmeansWorkload, make_kmeans_app
+from repro.workloads.dfsio import make_dfsio_app
+from repro.workloads.google_trace import google_trace_arrivals, tpch_query_mix
+
+__all__ = [
+    "KmeansWorkload",
+    "TPCHDataset",
+    "TPCHQueryWorkload",
+    "TPCH_QUERIES",
+    "TPCH_TABLES",
+    "WordCountWorkload",
+    "google_trace_arrivals",
+    "make_dfsio_app",
+    "make_kmeans_app",
+    "make_mr_wordcount",
+    "tpch_query_mix",
+]

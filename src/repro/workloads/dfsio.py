@@ -1,0 +1,48 @@
+"""dfsIO: HDFS write pressure (the Fig 12 IO interference source).
+
+"The dfsIO spawns parallel map tasks to write data into HDFS.  Each map
+task writes 20GB data."  Every stream flows through the writer's NIC
+and three replica disks/NICs, so it contends with localization
+downloads and task input scans cluster-wide.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.mapreduce.application import MapReduceApplication
+from repro.simul.engine import Event
+from repro.yarn.app import ContainerContext
+
+__all__ = ["make_dfsio_app", "dfsio_map_body"]
+
+
+def dfsio_map_body(
+    app: MapReduceApplication, ctx: ContainerContext, index: int
+) -> Generator[Event, Any, None]:
+    """One dfsIO map task: stream 20 GB into HDFS in bursts.
+
+    HDFS writers are bursty — the client fills its write pipeline at
+    full tilt, stalls on flushes, then resumes.  The resulting variance
+    in instantaneous disk demand is what gives the localization delay
+    its heavy tail under interference (Fig 12b's 35 s outliers).
+    """
+    params = ctx.services.params
+    rng = ctx.services.rng.child(f"dfsio.{ctx.container_id}")
+    remaining = params.dfsio_bytes_per_map
+    while remaining > 0:
+        chunk = min(remaining, rng.uniform(1.0, 3.0) * 1024**3)
+        burst_rate = params.dfsio_stream_rate * rng.uniform(0.6, 2.2)
+        yield from ctx.services.hdfs.write(ctx.node, chunk, demand=burst_rate)
+        remaining -= chunk
+        if remaining > 0:
+            yield ctx.sim.timeout(rng.uniform(0.1, 1.2))  # flush stall
+
+
+def make_dfsio_app(name: str, num_maps: int) -> MapReduceApplication:
+    """A dfsIO job with ``num_maps`` parallel 20 GB writers.
+
+    The paper sweeps the map count (0..100) to control interference
+    intensity.
+    """
+    return MapReduceApplication(name, num_maps=num_maps, map_body=dfsio_map_body)

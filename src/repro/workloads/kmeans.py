@@ -1,0 +1,94 @@
+"""HiBench-style Kmeans: the CPU interference generator (Fig 13).
+
+An iterative ML job that "always traverses the same data set during
+iterations" — so after the first scan everything is cached and each
+iteration is pure CPU.  The paper overloads node CPUs by giving each
+Kmeans executor 16 vcores; with YARN's memory-only resource calculator
+the vcores are not enforced, and the task threads oversubscribe the
+physical cores — that oversubscription is the interference.
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import count
+from typing import List, Optional
+
+from repro.spark.application import SparkApplication
+from repro.spark.tasks import StageSpec
+from repro.spark.workload import SparkWorkload
+
+__all__ = ["KmeansWorkload", "make_kmeans_app"]
+
+_ids = count(1)
+
+
+class KmeansWorkload(SparkWorkload):
+    """Iterative CPU-bound Spark job."""
+
+    is_sql = False
+
+    def __init__(
+        self,
+        input_bytes: float = 2 << 30,
+        iterations: Optional[int] = None,
+        name: str | None = None,
+    ):
+        self.input_bytes = float(input_bytes)
+        self.iterations = iterations
+        self.name = name or f"kmeans{next(_ids)}"
+        self._file = None
+
+    def prepare(self, services) -> None:
+        if self._file is None:
+            self._file = services.hdfs.register_file(
+                f"/data/kmeans/{self.name}.seq", self.input_bytes
+            )
+
+    @property
+    def input_files(self) -> List:
+        return [self._file]
+
+    def build_stages(self, services, app) -> List[StageSpec]:
+        params = services.params
+        iterations = self.iterations or params.kmeans_iterations
+        threads = app.task_threads_per_executor()
+        n_tasks = app.num_executors * threads
+        block = params.hdfs_block_bytes
+        n_scan = max(1, math.ceil(self.input_bytes / block))
+        stages = [
+            StageSpec(
+                name="kmeans-load",
+                n_tasks=n_scan,
+                cpu_seconds_per_task=1.0,
+                bytes_per_task=self.input_bytes / n_scan,
+                input_file=self._file,
+            )
+        ]
+        for it in range(iterations):
+            stages.append(
+                StageSpec(
+                    name=f"kmeans-iter{it}",
+                    n_tasks=n_tasks,
+                    cpu_seconds_per_task=params.kmeans_iteration_s,
+                    cpu_fraction=1.0,  # pure compute on the cached RDD
+                )
+            )
+        return stages
+
+
+def make_kmeans_app(name: str, params, iterations: Optional[int] = None) -> SparkApplication:
+    """A Kmeans app with the paper's 4 executors x 16 vcores shape.
+
+    With the memory-only resource calculator the 16 vcores are not
+    enforced, so the executors' task threads (vcores x 2 with
+    hyper-threading, as HiBench configures) oversubscribe the physical
+    cores — "to fully overload node's CPU resource" (section IV-E).
+    """
+    return SparkApplication(
+        name,
+        workload=KmeansWorkload(iterations=iterations, name=name),
+        num_executors=params.kmeans_executors,
+        executor_vcores=params.kmeans_executor_vcores,
+        task_threads=params.kmeans_executor_vcores * 2,
+    )

@@ -1,0 +1,174 @@
+"""TPC-H on Spark-SQL.
+
+The paper populates the eight TPC-H tables into HDFS with Hive and runs
+query jobs against them (section IV-A).  What matters for scheduling
+delay is structural: eight tables are opened during user initialization
+(eight RDD + broadcast creations on the critical path — section IV-D),
+scan stages read table bytes through HDFS, and per-query compute weight
+varies across the 22 templates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.spark.tasks import StageSpec
+from repro.spark.workload import SparkWorkload
+
+__all__ = ["TPCH_TABLES", "TPCH_QUERIES", "TPCHDataset", "TPCHQueryWorkload"]
+
+#: Fraction of the scale-factor bytes in each table (dbgen proportions).
+TPCH_TABLES: Dict[str, float] = {
+    "lineitem": 0.6951,
+    "orders": 0.1552,
+    "partsupp": 0.1085,
+    "part": 0.0218,
+    "customer": 0.0220,
+    "supplier": 0.0013,
+    "nation": 0.00002,
+    "region": 0.00001,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class QueryTemplate:
+    """Cost profile of one TPC-H query template."""
+
+    number: int
+    #: Relative compute weight (q1 scan-heavy = 1.0 reference).
+    weight: float
+    #: Number of stages (joins/aggregations add shuffle stages).
+    stages: int
+    #: Tables whose bytes the scan stage reads.
+    scan_tables: tuple
+
+
+#: The 22 templates with rough relative costs on Spark-SQL (shape only:
+#: join-heavy queries like q9/q21 are the heaviest, selective ones like
+#: q6/q14 the lightest).
+TPCH_QUERIES: Dict[int, QueryTemplate] = {
+    q.number: q
+    for q in [
+        QueryTemplate(1, 1.00, 2, ("lineitem",)),
+        QueryTemplate(2, 0.45, 4, ("part", "supplier", "partsupp")),
+        QueryTemplate(3, 0.90, 3, ("customer", "orders", "lineitem")),
+        QueryTemplate(4, 0.70, 3, ("orders", "lineitem")),
+        QueryTemplate(5, 1.10, 4, ("customer", "orders", "lineitem", "supplier")),
+        QueryTemplate(6, 0.35, 2, ("lineitem",)),
+        QueryTemplate(7, 1.15, 4, ("supplier", "lineitem", "orders", "customer")),
+        QueryTemplate(8, 1.25, 4, ("part", "lineitem", "orders", "customer")),
+        QueryTemplate(9, 1.90, 5, ("part", "supplier", "lineitem", "partsupp", "orders")),
+        QueryTemplate(10, 0.85, 3, ("customer", "orders", "lineitem")),
+        QueryTemplate(11, 0.40, 3, ("partsupp", "supplier")),
+        QueryTemplate(12, 0.60, 3, ("orders", "lineitem")),
+        QueryTemplate(13, 0.75, 3, ("customer", "orders")),
+        QueryTemplate(14, 0.40, 2, ("lineitem", "part")),
+        QueryTemplate(15, 0.55, 3, ("lineitem", "supplier")),
+        QueryTemplate(16, 0.45, 3, ("partsupp", "part", "supplier")),
+        QueryTemplate(17, 1.30, 3, ("lineitem", "part")),
+        QueryTemplate(18, 1.50, 4, ("customer", "orders", "lineitem")),
+        QueryTemplate(19, 0.65, 2, ("lineitem", "part")),
+        QueryTemplate(20, 0.95, 4, ("supplier", "nation", "partsupp", "lineitem")),
+        QueryTemplate(21, 1.80, 5, ("supplier", "lineitem", "orders", "nation")),
+        QueryTemplate(22, 0.50, 3, ("customer", "orders")),
+    ]
+}
+
+
+class TPCHDataset:
+    """One Hive-populated TPC-H database in HDFS, shared by all queries."""
+
+    _seq = 0
+
+    def __init__(self, total_bytes: float, name: Optional[str] = None):
+        if total_bytes <= 0:
+            raise ValueError("dataset size must be positive")
+        self.total_bytes = float(total_bytes)
+        if name is None:
+            TPCHDataset._seq += 1
+            name = f"tpch{TPCHDataset._seq}"
+        self.name = name
+        self.tables: Dict[str, object] = {}
+
+    def prepare(self, services) -> None:
+        """Register the eight table files (idempotent)."""
+        if self.tables:
+            return
+        for table, fraction in TPCH_TABLES.items():
+            self.tables[table] = services.hdfs.register_file(
+                f"/user/hive/warehouse/{self.name}.db/{table}",
+                max(1.0, self.total_bytes * fraction),
+            )
+
+    def table(self, name: str):
+        return self.tables[name]
+
+
+class TPCHQueryWorkload(SparkWorkload):
+    """One TPC-H query job against a shared dataset."""
+
+    is_sql = True
+
+    def __init__(
+        self,
+        dataset: TPCHDataset,
+        query: int = 1,
+        opened_files_multiplier: int = 1,
+    ):
+        if query not in TPCH_QUERIES:
+            raise ValueError(f"unknown TPC-H query q{query}")
+        if opened_files_multiplier < 1:
+            raise ValueError("opened_files_multiplier must be >= 1")
+        self.dataset = dataset
+        self.template = TPCH_QUERIES[query]
+        #: Fig 11b sweep: x2 doubles the files opened during user init.
+        self.opened_files_multiplier = opened_files_multiplier
+
+    def prepare(self, services) -> None:
+        self.dataset.prepare(services)
+
+    @property
+    def input_files(self) -> List:
+        """All eight tables (TPC-H-on-Spark initializes every table)."""
+        base = [self.dataset.tables[t] for t in TPCH_TABLES]
+        return base * self.opened_files_multiplier
+
+    def build_stages(self, services, app) -> List[StageSpec]:
+        params = services.params
+        block = params.hdfs_block_bytes
+        scan_bytes = sum(
+            self.dataset.table(t).size_bytes for t in self.template.scan_tables
+        )
+        # Spark splits small tables per file, so scans never collapse to
+        # a single task even for a tiny dataset.
+        n_scan = max(params.min_scan_tasks, math.ceil(scan_bytes / block))
+        per_task = scan_bytes / n_scan
+        cpu_per_task = (per_task / params.task_scan_rate) * self.template.weight
+        # The scan stage reads the dominant table through HDFS.
+        biggest = max(
+            self.template.scan_tables, key=lambda t: self.dataset.table(t).size_bytes
+        )
+        stages = [
+            StageSpec(
+                name=f"q{self.template.number}-scan",
+                n_tasks=n_scan,
+                cpu_seconds_per_task=cpu_per_task,
+                bytes_per_task=per_task,
+                input_file=self.dataset.table(biggest),
+            )
+        ]
+        # Shuffle stages use spark.sql.shuffle.partitions tasks, which
+        # spreads work over every executor (and is why, outside the
+        # SPARK-21562 bug, every healthy container logs a task line).
+        for s in range(1, self.template.stages):
+            stages.append(
+                StageSpec(
+                    name=f"q{self.template.number}-shuffle{s}",
+                    n_tasks=params.sql_shuffle_partitions,
+                    cpu_seconds_per_task=params.shuffle_task_cpu_s
+                    * self.template.weight,
+                )
+            )
+        return stages

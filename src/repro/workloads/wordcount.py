@@ -1,0 +1,83 @@
+"""Wordcount, in both flavours.
+
+Spark wordcount is Fig 11a's comparison point: identical driver init to
+Spark-SQL, but only *one* opened file during user initialization, hence
+the shorter executor delay.  MapReduce wordcount with scaled input is
+the cluster load generator behind Fig 7c and Table II.
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import count
+from typing import List
+
+from repro.mapreduce.application import MapReduceApplication
+from repro.spark.tasks import StageSpec
+from repro.spark.workload import SparkWorkload
+
+__all__ = ["WordCountWorkload", "make_mr_wordcount"]
+
+_ids = count(1)
+
+
+class WordCountWorkload(SparkWorkload):
+    """Spark wordcount over one text file."""
+
+    is_sql = False
+
+    def __init__(self, input_bytes: float, name: str | None = None):
+        if input_bytes <= 0:
+            raise ValueError("input_bytes must be positive")
+        self.input_bytes = float(input_bytes)
+        self.name = name or f"wc{next(_ids)}"
+        self._file = None
+
+    def prepare(self, services) -> None:
+        if self._file is None:
+            self._file = services.hdfs.register_file(
+                f"/data/wordcount/{self.name}.txt", self.input_bytes
+            )
+
+    @property
+    def input_files(self) -> List:
+        """Wordcount opens exactly one file (vs TPC-H's eight)."""
+        return [self._file]
+
+    def build_stages(self, services, app) -> List[StageSpec]:
+        params = services.params
+        block = params.hdfs_block_bytes
+        n_map = max(1, math.ceil(self.input_bytes / block))
+        per_task = self.input_bytes / n_map
+        slots = app.num_executors * app.executor_spec(params).vcores
+        return [
+            StageSpec(
+                name="wc-map",
+                n_tasks=n_map,
+                cpu_seconds_per_task=per_task / params.task_scan_rate,
+                bytes_per_task=per_task,
+                input_file=self._file,
+            ),
+            StageSpec(
+                name="wc-reduce",
+                n_tasks=max(1, min(slots, n_map // 2)),
+                cpu_seconds_per_task=0.4,
+            ),
+        ]
+
+
+def make_mr_wordcount(
+    name: str,
+    input_bytes: float,
+    params,
+    opportunistic: bool = False,
+    docker: bool = False,
+) -> MapReduceApplication:
+    """A MapReduce wordcount job sized by its input (one map per block).
+
+    Scaling ``input_bytes`` scales the map fan-out, which is how the
+    paper controls cluster load ("by scaling the input data size, we
+    control the cluster load", section IV-C).
+    """
+    num_maps = max(1, math.ceil(input_bytes / params.hdfs_block_bytes))
+    return MapReduceApplication(name, num_maps=num_maps, opportunistic=opportunistic, docker=docker)

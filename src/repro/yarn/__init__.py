@@ -1,0 +1,44 @@
+"""Simulated Apache YARN: ResourceManager, NodeManagers, schedulers.
+
+The module reproduces the two-level scheduling architecture of section
+II-A: *out-application* scheduling (resource allocation, container
+placement, localization, launching) lives here; *in-application*
+scheduling (Spark task scheduling) lives in :mod:`repro.spark`.
+
+Every scheduling entity is modelled as the same state machine Hadoop
+uses (``RMAppImpl``, ``RMContainerImpl``, ``ContainerImpl``) and every
+state transition is logged in log4j format — those log lines are the
+*only* interface SDchecker consumes.
+"""
+
+from repro.yarn.ids import ApplicationId, ContainerId, CLUSTER_TIMESTAMP
+from repro.yarn.records import (
+    ContainerGrant,
+    ExecutionType,
+    LaunchSpec,
+    ResourceRequest,
+    ResourceSpec,
+)
+from repro.yarn.resource_manager import ResourceManager
+from repro.yarn.node_manager import NodeManager
+from repro.yarn.capacity_scheduler import CapacityScheduler
+from repro.yarn.opportunistic_scheduler import OpportunisticScheduler
+from repro.yarn.app import AMRMClient, ContainerContext, YarnApplication
+
+__all__ = [
+    "AMRMClient",
+    "ApplicationId",
+    "CLUSTER_TIMESTAMP",
+    "CapacityScheduler",
+    "ContainerContext",
+    "ContainerGrant",
+    "ContainerId",
+    "ExecutionType",
+    "LaunchSpec",
+    "NodeManager",
+    "OpportunisticScheduler",
+    "ResourceManager",
+    "ResourceRequest",
+    "ResourceSpec",
+    "YarnApplication",
+]

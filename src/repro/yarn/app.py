@@ -1,0 +1,238 @@
+"""Application-side YARN abstractions.
+
+:class:`YarnApplication` is the base class every simulated framework
+(Spark, MapReduce) derives from; it owns the application's identity,
+its localization payload, and the AppMaster body.  :class:`AMRMClient`
+is the AM's handle to the ResourceManager: registration, heartbeat-based
+container requests, and the acquisition semantics whose heartbeat bound
+produces Fig 7c.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator, List, Optional, TYPE_CHECKING
+
+from repro.hdfs.filesystem import HdfsFile
+from repro.logsys.store import DaemonLogger
+from repro.simul.engine import Event, Process, SimulationError
+from repro.simul.resources import Store
+from repro.yarn.ids import ApplicationId, ContainerId
+from repro.yarn.records import ContainerGrant, ExecutionType, LaunchSpec, ResourceRequest
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.node import Node
+    from repro.yarn.resource_manager import ResourceManager
+
+__all__ = ["YarnApplication", "AMRMClient", "ContainerContext"]
+
+
+@dataclass(slots=True)
+class ContainerContext:
+    """Runtime handle given to a launched container instance."""
+
+    services: Any  # the Testbed (sim, cluster, hdfs, params, rng, logs, rm)
+    node: "Node"
+    grant: ContainerGrant
+    #: This container's own log stream (driver/executor stdout).
+    logger: DaemonLogger
+    app: "YarnApplication"
+    #: Only set for the ApplicationMaster container.
+    am_client: Optional["AMRMClient"] = None
+    #: True when this container attached to a pooled warm JVM
+    #: (section V-B JVM reuse) — frameworks discount their warm-up.
+    warm_jvm: bool = False
+
+    @property
+    def sim(self):
+        return self.services.sim
+
+    @property
+    def container_id(self) -> ContainerId:
+        return self.grant.container_id
+
+
+class YarnApplication:
+    """Base class for a simulated YARN application.
+
+    Subclasses implement :meth:`run_application_master` (the AppMaster
+    process body) and :meth:`am_launch_spec`.  The RM drives the rest:
+    admission, AM container allocation and launch, and final transition
+    to FINISHED when the AM unregisters.
+    """
+
+    #: instance-type code of the AM container (Fig 9a), e.g. "spm"/"mrm".
+    AM_INSTANCE_TYPE = "spm"
+
+    def __init__(self, name: str, user: str = "ubuntu", queue: str = "default"):
+        self.name = name
+        self.user = user
+        self.queue = queue
+        #: Assigned by the RM at submission.
+        self.app_id: Optional[ApplicationId] = None
+        self.submitted_at: Optional[float] = None
+        #: Succeeds when the application reaches FINISHED.
+        self.finished: Optional[Event] = None
+        #: Localization payload files, registered at submission.
+        self.payload_files: List[HdfsFile] = []
+        #: All grants ever bound to this app (introspection for tests).
+        self.grants: List[ContainerGrant] = []
+        #: Use Docker containers for launching (Fig 9b).
+        self.docker: bool = False
+
+    # -- to be provided by frameworks ---------------------------------------
+    def am_heartbeat_intervals(self, params) -> tuple:
+        """(pending, idle) AM-RM heartbeat intervals for this framework.
+
+        MapReduce's flat 1 s default is what caps acquisition delay in
+        Fig 7c; Spark overrides this with its fast-while-allocating
+        interval.
+        """
+        return (params.mr_am_heartbeat_s, params.mr_am_heartbeat_s)
+
+    def am_resource(self, params) -> "ResourceRequest":
+        """Shape of the AM container."""
+        from repro.yarn.records import ResourceSpec
+
+        return ResourceRequest(
+            ResourceSpec(params.am_memory_mb, params.am_vcores), count=1
+        )
+
+    def prepare_payload(self, services) -> None:
+        """Upload localization files to HDFS before submission."""
+        params = services.params
+        pkg = services.hdfs.register_file(
+            f"/user/{self.user}/.sparkStaging/{self.name}/__spark_libs__.zip"
+            if self.AM_INSTANCE_TYPE == "spm"
+            else f"/user/{self.user}/.staging/{self.name}/job.jar",
+            params.default_localized_bytes,
+        )
+        self.payload_files = [pkg]
+
+    def am_launch_spec(self) -> LaunchSpec:
+        """LaunchSpec for the AppMaster container."""
+        return LaunchSpec(
+            instance_type=self.AM_INSTANCE_TYPE,
+            run=self.run_application_master,
+            files=list(self.payload_files),
+            docker=self.docker,
+        )
+
+    def run_application_master(
+        self, ctx: ContainerContext
+    ) -> Generator[Event, Any, Any]:
+        """The AppMaster body; must be a simulation process generator."""
+        raise NotImplementedError
+
+    def __str__(self) -> str:
+        return str(self.app_id) if self.app_id is not None else f"<unsubmitted {self.name}>"
+
+
+class AMRMClient:
+    """The AppMaster's RPC client to the ResourceManager.
+
+    Containers are requested asynchronously and granted containers are
+    *pulled* on the AM-RM heartbeat — so a container allocated between
+    two heartbeats sits in ALLOCATED until the next pull, which is the
+    mechanism that caps the acquisition delay at the heartbeat interval
+    (Fig 7c).  Frameworks configure their intervals: MapReduce beats at
+    a flat 1 s; Spark beats fast (200 ms) while allocation is pending
+    and slow (3 s) when idle.
+    """
+
+    def __init__(
+        self,
+        rm: "ResourceManager",
+        app: YarnApplication,
+        pending_interval: float,
+        idle_interval: float,
+    ):
+        self.rm = rm
+        self.app = app
+        self.sim = rm.sim
+        self.pending_interval = pending_interval
+        self.idle_interval = idle_interval
+        #: Grants delivered to the AM, in pull order.
+        self.allocated: Store = Store(self.sim)
+        self._new_requests: List[ResourceRequest] = []
+        self._outstanding = 0
+        self.granted_total = 0
+        self.registered = False
+        self._running = False
+        self._wake: Optional[Event] = None
+        self._loop: Optional[Process] = None
+        self._rpc_rng = rm.rng.child(f"amrm.{app.name}")
+
+    # -- lifecycle -----------------------------------------------------------
+    def register(self) -> Generator[Event, Any, None]:
+        """Register the AM with the RM and start the heartbeat loop."""
+        if self.registered:
+            raise SimulationError(f"{self.app}: AM already registered")
+        yield self.sim.timeout(self._rpc())
+        self.rm.register_am(self.app)
+        self.registered = True
+        self._running = True
+        self._loop = self.sim.process(
+            self._heartbeat_loop(), name=f"amrm-{self.app.app_id}"
+        )
+
+    def unregister(self) -> Generator[Event, Any, None]:
+        """Tell the RM the application is done; stops the heartbeats."""
+        self._running = False
+        self.kick()
+        yield self.sim.timeout(self._rpc())
+        yield from self.rm.unregister_am(self.app)
+
+    # -- container requests ----------------------------------------------------
+    @property
+    def outstanding(self) -> int:
+        """Containers requested but not yet granted."""
+        return self._outstanding
+
+    def request_containers(self, request: ResourceRequest) -> None:
+        """Queue an ask; it rides out on the next heartbeat (kicked now)."""
+        if not self.registered:
+            raise SimulationError("request_containers before register()")
+        self._new_requests.append(request)
+        self._outstanding += request.count
+        self.kick()
+
+    def release_container(self, grant: ContainerGrant) -> None:
+        """Give back a granted-but-unwanted container (bug cleanup path)."""
+        self.rm.release_container(self.app, grant)
+
+    def kick(self) -> None:
+        """Wake the heartbeat loop immediately (initial-allocation path)."""
+        if self._wake is not None and not self._wake.triggered:
+            self._wake.succeed(None)
+
+    # -- internals ---------------------------------------------------------------
+    def _rpc(self) -> float:
+        p = self.rm.params
+        return self._rpc_rng.lognormal_median(p.rpc_latency_median_s, p.rpc_latency_sigma)
+
+    def _heartbeat_loop(self) -> Generator[Event, Any, None]:
+        # Spark's allocation pull starts at the fast pending interval and
+        # doubles on every empty response, up to the idle interval
+        # (spark.yarn.scheduler.initial-allocation-interval behaviour).
+        # MapReduce sets pending == idle, i.e. a flat 1 s beat.
+        backoff = self.pending_interval
+        while self._running:
+            requests, self._new_requests = self._new_requests, []
+            grants = yield from self.rm.allocate(self.app, requests)
+            for grant in grants:
+                self._outstanding -= 1
+                self.granted_total += 1
+                self.allocated.put(grant)
+            if self._outstanding > 0:
+                if grants:
+                    backoff = self.pending_interval
+                else:
+                    backoff = min(backoff * 2.0, self.idle_interval)
+                interval = backoff
+            else:
+                backoff = self.pending_interval
+                interval = self.idle_interval
+            self._wake = self.sim.event()
+            yield self.sim.any_of([self.sim.timeout(interval), self._wake])
+            self._wake = None

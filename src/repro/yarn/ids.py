@@ -1,0 +1,93 @@
+"""YARN global identifiers.
+
+Application and container IDs are the *global IDs* SDchecker uses to
+bind log events from different daemons to the same scheduling entity
+(section III-C).  The textual formats follow Hadoop exactly::
+
+    application_1515744000000_0042
+    appattempt_1515744000000_0042_000001
+    container_1515744000000_0042_01_000007
+
+A container ID embeds its application's cluster timestamp and sequence
+number, which is what lets SDchecker group container events under the
+owning application without any side channel.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+__all__ = ["ApplicationId", "ApplicationAttemptId", "ContainerId", "CLUSTER_TIMESTAMP"]
+
+#: RM start timestamp baked into every ID (2018-01-12 00:00:00 UTC in ms).
+CLUSTER_TIMESTAMP = 1515715200000
+
+_APP_RE = re.compile(r"^application_(\d+)_(\d{4,})$")
+_CONTAINER_RE = re.compile(r"^container_(?:e\d+_)?(\d+)_(\d{4,})_(\d\d)_(\d{6})$")
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class ApplicationId:
+    """One submitted application."""
+
+    cluster_timestamp: int
+    app_seq: int
+
+    def __str__(self) -> str:
+        return f"application_{self.cluster_timestamp}_{self.app_seq:04d}"
+
+    @classmethod
+    def parse(cls, text: str) -> "ApplicationId":
+        m = _APP_RE.match(text)
+        if m is None:
+            raise ValueError(f"not an application id: {text!r}")
+        return cls(int(m.group(1)), int(m.group(2)))
+
+    def attempt(self, attempt_seq: int = 1) -> "ApplicationAttemptId":
+        return ApplicationAttemptId(self, attempt_seq)
+
+    def container(self, container_seq: int, attempt_seq: int = 1) -> "ContainerId":
+        return ContainerId(self, attempt_seq, container_seq)
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class ApplicationAttemptId:
+    """One attempt of an application (we never simulate AM retries)."""
+
+    app_id: ApplicationId
+    attempt_seq: int
+
+    def __str__(self) -> str:
+        return (
+            f"appattempt_{self.app_id.cluster_timestamp}_"
+            f"{self.app_id.app_seq:04d}_{self.attempt_seq:06d}"
+        )
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class ContainerId:
+    """One container; ``container_seq`` 1 is the ApplicationMaster."""
+
+    app_id: ApplicationId
+    attempt_seq: int
+    container_seq: int
+
+    def __str__(self) -> str:
+        return (
+            f"container_{self.app_id.cluster_timestamp}_{self.app_id.app_seq:04d}_"
+            f"{self.attempt_seq:02d}_{self.container_seq:06d}"
+        )
+
+    @classmethod
+    def parse(cls, text: str) -> "ContainerId":
+        m = _CONTAINER_RE.match(text)
+        if m is None:
+            raise ValueError(f"not a container id: {text!r}")
+        app = ApplicationId(int(m.group(1)), int(m.group(2)))
+        return cls(app, int(m.group(3)), int(m.group(4)))
+
+    @property
+    def is_application_master(self) -> bool:
+        """YARN convention: the AM is always container #000001."""
+        return self.container_seq == 1

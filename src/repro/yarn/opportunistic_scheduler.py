@@ -1,0 +1,62 @@
+"""The distributed (opportunistic) scheduler.
+
+Hadoop 3's decentralized path from Mercury [14]: opportunistic
+containers are granted synchronously inside the allocate RPC — no wait
+for node updates and no acquisition heartbeat round-trip, which is why
+the paper measures it ~80x faster than the Capacity Scheduler at the
+median (Fig 7a).  Placement samples a few nodes at random (Sparrow-style
+power-of-k); with no global cluster state a busy pick means the
+container queues at the NM behind running work — the up-to-53 s
+queueing delay of Fig 7b.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, TYPE_CHECKING
+
+from repro.simul.engine import Event
+from repro.yarn.records import ContainerGrant, ExecutionType, ResourceRequest
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.yarn.resource_manager import AppRecord, ResourceManager
+
+__all__ = ["OpportunisticScheduler"]
+
+
+class OpportunisticScheduler:
+    """Synchronous, sampling-based container allocator."""
+
+    def __init__(self, rm: "ResourceManager"):
+        self.rm = rm
+        self.params = rm.params
+        self._rng = rm.rng.child("opportunistic")
+
+    def allocate(
+        self, record: "AppRecord", request: ResourceRequest
+    ) -> Generator[Event, Any, List[ContainerGrant]]:
+        """Grant ``request.count`` opportunistic containers immediately."""
+        grants: List[ContainerGrant] = []
+        for _ in range(request.count):
+            yield self.rm.sim.timeout(
+                self._rng.jitter(self.params.opportunistic_grant_s, 0.5)
+            )
+            node = self._pick_node(request)
+            grant = self.rm.new_container(
+                record, node, request.spec, ExecutionType.OPPORTUNISTIC
+            )
+            # Granted in the same RPC: acquisition is immediate.
+            grant.rm_container.handle("ACQUIRED")
+            grants.append(grant)
+        return grants
+
+    def _pick_node(self, request: ResourceRequest):
+        """Power-of-k sampling on NM queue length (no global state)."""
+        k = max(1, self.params.opportunistic_sample_k)
+        candidates = self._rng.sample(self.rm.cluster.nodes, k)
+
+        def load(node):
+            nm = self.rm.nm_for(node)
+            free_now = 0 if node.fits(request.spec.memory_mb, request.spec.vcores) else 1
+            return (nm.queue_length(), free_now)
+
+        return min(candidates, key=load)

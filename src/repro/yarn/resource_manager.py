@@ -1,0 +1,260 @@
+"""The ResourceManager: admission, AM launching, allocate RPCs.
+
+The RM owns the RMAppImpl and RMContainerImpl state machines (whose
+transition logs are Table I messages 1-5), a pluggable *centralized*
+scheduler driven by NM node updates (Capacity Scheduler), and an
+optional *distributed* scheduler that grants opportunistic containers
+synchronously inside the allocate RPC (the Hadoop 3 hybrid scheduler of
+section IV-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+from typing import Any, Dict, Generator, List, Optional, TYPE_CHECKING
+
+from repro.simul.engine import Event, SimulationError
+from repro.simul.resources import Resource
+from repro.yarn.app import AMRMClient, YarnApplication
+from repro.yarn.ids import ApplicationId, ContainerId, CLUSTER_TIMESTAMP
+from repro.yarn.records import ContainerGrant, ExecutionType, ResourceRequest, ResourceSpec
+from repro.yarn.state_machine import RMAppStateMachine, RMContainerStateMachine
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.node import Node
+    from repro.yarn.node_manager import NodeManager
+
+__all__ = ["ResourceManager", "AppRecord"]
+
+
+@dataclass(eq=False)  # identity hash: records key scheduler tables
+class AppRecord:
+    """RM-side bookkeeping for one application."""
+
+    app: YarnApplication
+    rm_app: RMAppStateMachine
+    container_seq: Any = field(default_factory=lambda: count(1))
+    #: Containers allocated but not yet pulled by the AM heartbeat.
+    allocated_buffer: List[ContainerGrant] = field(default_factory=list)
+    #: Fires when the AM container is allocated.
+    am_allocated: Optional[Event] = None
+    #: Number of containers currently allocated/running (fairness key).
+    live_containers: int = 0
+    client: Optional[AMRMClient] = None
+    finished: bool = False
+
+
+class ResourceManager:
+    """The simulated ResourceManager daemon."""
+
+    def __init__(self, services, scheduler_factory, opportunistic_factory=None):
+        """``services`` is the Testbed: sim, cluster, hdfs, params,
+        rng, log_store.  ``scheduler_factory(rm)`` builds the
+        centralized scheduler; ``opportunistic_factory(rm)``, if given,
+        enables distributed scheduling for OPPORTUNISTIC requests.
+        """
+        self.services = services
+        self.sim = services.sim
+        self.params = services.params
+        self.cluster = services.cluster
+        self.rng = services.rng.child("rm")
+        self.logger = services.log_store.logger(
+            "hadoop-resourcemanager", lambda: self.sim.now
+        )
+        self.scheduler = scheduler_factory(self)
+        self.opportunistic = (
+            opportunistic_factory(self) if opportunistic_factory is not None else None
+        )
+        self._app_seq = count(1)
+        self.apps: Dict[ApplicationId, AppRecord] = {}
+        self._node_managers: Dict[str, "NodeManager"] = {}
+        #: Serializes scheduler passes (the RM dispatcher thread).
+        self._scheduler_lock = Resource(self.sim, capacity=1)
+        #: Simulated times of every container allocation (Table II).
+        self.allocation_times: List[float] = []
+        #: AM-RM allocate RPCs served — the network-load side of the
+        #: heartbeat-frequency trade-off (Table III row 2).
+        self.allocate_rpc_count: int = 0
+        self._rpc_rng = self.rng.child("rpc")
+
+    # -- topology ------------------------------------------------------------
+    def register_node_manager(self, nm: "NodeManager") -> None:
+        self._node_managers[nm.node.hostname] = nm
+
+    def nm_for(self, node: "Node") -> "NodeManager":
+        try:
+            return self._node_managers[node.hostname]
+        except KeyError:
+            raise SimulationError(f"no NodeManager on {node.hostname}") from None
+
+    @property
+    def node_managers(self) -> List["NodeManager"]:
+        return [self._node_managers[h] for h in sorted(self._node_managers)]
+
+    # -- application admission ---------------------------------------------------
+    def submit_application(self, app: YarnApplication) -> Event:
+        """Submit ``app``; returns its FINISHED event."""
+        if app.app_id is not None:
+            raise SimulationError(f"{app.name} was already submitted")
+        app.app_id = ApplicationId(CLUSTER_TIMESTAMP, next(self._app_seq))
+        app.submitted_at = self.sim.now
+        app.finished = self.sim.event()
+        app.prepare_payload(self.services)
+        record = AppRecord(
+            app=app, rm_app=RMAppStateMachine(str(app.app_id), self.logger)
+        )
+        self.apps[app.app_id] = record
+        self.sim.process(self._admit(record), name=f"admit-{app.app_id}")
+        return app.finished
+
+    def _admit(self, record: AppRecord) -> Generator[Event, Any, None]:
+        params = self.params
+        app = record.app
+        record.rm_app.handle("START")  # NEW -> NEW_SAVING
+        yield self.sim.timeout(params.rm_state_store_s)
+        record.rm_app.handle("APP_NEW_SAVED")  # -> SUBMITTED  (Table I msg 1)
+        yield self.sim.timeout(params.rm_event_service_s)
+        record.rm_app.handle("APP_ACCEPTED")  # -> ACCEPTED   (Table I msg 2)
+
+        # Ask the centralized scheduler for the AM container.
+        record.am_allocated = self.sim.event()
+        self.scheduler.add_request(record, app.am_resource(params))
+        grant = yield record.am_allocated
+
+        # AMLauncher: acquire the container and start it on its NM.
+        yield self.sim.timeout(params.rm_event_service_s + self._rpc())
+        grant.rm_container.handle("ACQUIRED")  # Table I msg 5
+        nm = self.nm_for(grant.node)
+        nm.start_container(grant, app.am_launch_spec(), app)
+
+    def make_am_client(self, app: YarnApplication) -> AMRMClient:
+        """Build the AM's RM client (called by the NM at AM launch)."""
+        record = self._record(app)
+        pending, idle = app.am_heartbeat_intervals(self.params)
+        record.client = AMRMClient(self, app, pending, idle)
+        return record.client
+
+    def register_am(self, app: YarnApplication) -> None:
+        """AM's first heartbeat: ACCEPTED -> RUNNING (Table I msg 3)."""
+        self._record(app).rm_app.handle("ATTEMPT_REGISTERED")
+
+    def unregister_am(self, app: YarnApplication) -> Generator[Event, Any, None]:
+        record = self._record(app)
+        record.finished = True
+        record.rm_app.handle("ATTEMPT_UNREGISTERED")  # -> FINAL_SAVING
+        self.scheduler.remove_application(record)
+        yield self.sim.timeout(self.params.rm_state_store_s)
+        record.rm_app.handle("APP_UPDATE_SAVED")  # -> FINISHED
+        app.finished.succeed(self.sim.now)
+
+    # -- allocate RPC -----------------------------------------------------------
+    def allocate(
+        self, app: YarnApplication, new_requests: List[ResourceRequest]
+    ) -> Generator[Event, Any, List[ContainerGrant]]:
+        """One AM-RM heartbeat: submit asks, pull granted containers."""
+        record = self._record(app)
+        self.allocate_rpc_count += 1
+        yield self.sim.timeout(self._rpc())
+        opportunistic_grants: List[ContainerGrant] = []
+        for request in new_requests:
+            if request.execution_type is ExecutionType.OPPORTUNISTIC:
+                if self.opportunistic is None:
+                    raise SimulationError(
+                        "opportunistic request but distributed scheduling is disabled"
+                    )
+                granted = yield from self.opportunistic.allocate(record, request)
+                opportunistic_grants.extend(granted)
+            else:
+                self.scheduler.add_request(record, request)
+        pulled, record.allocated_buffer = record.allocated_buffer, []
+        for grant in pulled:
+            grant.rm_container.handle("ACQUIRED")  # Table I msg 5
+        yield self.sim.timeout(self.params.rm_event_service_s)
+        return pulled + opportunistic_grants
+
+    def release_container(self, app: YarnApplication, grant: ContainerGrant) -> None:
+        """AM gives back a container it never launched (SPARK-21562)."""
+        record = self._record(app)
+        if grant.rm_container.state not in ("ALLOCATED", "ACQUIRED"):
+            raise SimulationError(
+                f"cannot release {grant} in state {grant.rm_container.state}"
+            )
+        grant.rm_container.handle("RELEASED")
+        record.live_containers -= 1
+        if grant.execution_type is ExecutionType.GUARANTEED:
+            grant.node.free(grant.spec.memory_mb, grant.spec.vcores)
+            self.scheduler.container_released(record, grant.spec)
+            self.nm_for(grant.node).drain_queued()
+        try:
+            record.allocated_buffer.remove(grant)
+        except ValueError:
+            pass
+
+    # -- scheduler plumbing --------------------------------------------------------
+    def node_update(self, nm: "NodeManager") -> None:
+        """NM heartbeat arrival: run a scheduler pass for that node."""
+        self.sim.process(
+            self._node_update_pass(nm), name=f"node-update-{nm.node.hostname}"
+        )
+
+    def _node_update_pass(self, nm: "NodeManager") -> Generator[Event, Any, None]:
+        req = self._scheduler_lock.request()
+        yield req
+        try:
+            yield from self.scheduler.assign_containers(nm.node)
+        finally:
+            self._scheduler_lock.release(req)
+
+    def new_container(
+        self,
+        record: AppRecord,
+        node: "Node",
+        spec: ResourceSpec,
+        execution_type: ExecutionType = ExecutionType.GUARANTEED,
+    ) -> ContainerGrant:
+        """Mint a container: new RMContainerImpl in ALLOCATED (msg 4)."""
+        cid = ContainerId(record.app.app_id, 1, next(record.container_seq))
+        sm = RMContainerStateMachine(str(cid), self.logger)
+        grant = ContainerGrant(
+            container_id=cid,
+            node=node,
+            spec=spec,
+            execution_type=execution_type,
+            rm_container=sm,
+            allocated_at=self.sim.now,
+        )
+        sm.handle("START")  # NEW -> ALLOCATED  (Table I msg 4)
+        record.live_containers += 1
+        record.app.grants.append(grant)
+        self.allocation_times.append(self.sim.now)
+        return grant
+
+    def deliver_grant(self, record: AppRecord, grant: ContainerGrant) -> None:
+        """Route a fresh allocation to the AM-launcher or the AM buffer."""
+        if grant.container_id.is_application_master:
+            record.am_allocated.succeed(grant)
+        else:
+            record.allocated_buffer.append(grant)
+
+    def container_finished(self, app: YarnApplication, grant: ContainerGrant) -> None:
+        """NM reports a completed container; release RM-side resources."""
+        record = self._record(app)
+        if grant.rm_container.state == "RUNNING":
+            grant.rm_container.handle("FINISHED")
+        record.live_containers -= 1
+        if grant.execution_type is ExecutionType.GUARANTEED:
+            grant.node.free(grant.spec.memory_mb, grant.spec.vcores)
+            self.scheduler.container_released(record, grant.spec)
+            self.nm_for(grant.node).drain_queued()
+
+    # -- helpers --------------------------------------------------------------------
+    def _record(self, app: YarnApplication) -> AppRecord:
+        try:
+            return self.apps[app.app_id]
+        except KeyError:
+            raise SimulationError(f"unknown application {app}") from None
+
+    def _rpc(self) -> float:
+        p = self.params
+        return self._rpc_rng.lognormal_median(p.rpc_latency_median_s, p.rpc_latency_sigma)

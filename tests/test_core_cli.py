@@ -1,0 +1,65 @@
+"""Tests for the sdchecker command-line interface."""
+
+import json
+
+import pytest
+
+from repro.core.cli import main
+
+
+@pytest.fixture(scope="module")
+def logdir(tmp_path_factory, single_app_run):
+    bed, _app, _report = single_app_run
+    path = tmp_path_factory.mktemp("logs")
+    bed.dump_logs(path)
+    return path
+
+
+class TestCli:
+    def test_summary_output(self, logdir, capsys):
+        assert main([str(logdir)]) == 0
+        out = capsys.readouterr().out
+        assert "SDchecker report: 1 application(s)" in out
+
+    def test_json_output(self, logdir, capsys):
+        assert main([str(logdir), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["applications"] == 1
+        assert "total_delay" in payload["metrics"]
+
+    def test_metric_mode(self, logdir, capsys):
+        assert main([str(logdir), "--metric", "total_delay"]) == 0
+        out = capsys.readouterr().out
+        assert "total_delay" in out and "p95" in out
+
+    def test_metric_json(self, logdir, capsys):
+        assert main([str(logdir), "--metric", "am_delay", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["metric"] == "am_delay"
+        assert payload["n"] == 1
+
+    def test_graph_mode(self, logdir, capsys, single_app_run):
+        _bed, app, _report = single_app_run
+        assert main([str(logdir), "--graph", str(app.app_id)]) == 0
+        assert capsys.readouterr().out.startswith("digraph")
+
+    def test_graph_unknown_app(self, logdir, capsys):
+        assert main([str(logdir), "--graph", "application_1_9999"]) == 2
+
+    def test_bug_check_mode(self, logdir, capsys):
+        assert main([str(logdir), "--bug-check"]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_missing_directory(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope")]) == 2
+
+    def test_offline_round_trip_matches_in_memory(self, logdir, single_app_run):
+        """Mining the dumped text files reproduces the in-memory report."""
+        from repro.core.checker import SDChecker
+
+        _bed, _app, live_report = single_app_run
+        offline = SDChecker().analyze(logdir)
+        assert len(offline) == len(live_report)
+        live = live_report.sample("total_delay").p50
+        dumped = offline.sample("total_delay").p50
+        assert dumped == pytest.approx(live, abs=0.002)  # 1 ms log precision

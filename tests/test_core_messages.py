@@ -1,0 +1,161 @@
+"""Tests for the Table I message patterns."""
+
+import pytest
+
+from repro.core.events import EventKind
+from repro.core import messages as msg
+
+
+class TestRmAppLines:
+    def test_submitted(self):
+        kind, app = msg.classify_rm_app_line(
+            "application_1515715200000_0001 State change from NEW_SAVING to "
+            "SUBMITTED on event = APP_NEW_SAVED"
+        )
+        assert kind is EventKind.APP_SUBMITTED
+        assert app == "application_1515715200000_0001"
+
+    def test_attempt_registered(self):
+        kind, _ = msg.classify_rm_app_line(
+            "application_1_0001 State change from ACCEPTED to RUNNING "
+            "on event = ATTEMPT_REGISTERED"
+        )
+        assert kind is EventKind.APP_ATTEMPT_REGISTERED
+
+    def test_finished(self):
+        kind, _ = msg.classify_rm_app_line(
+            "application_1_0001 State change from FINAL_SAVING to FINISHED "
+            "on event = APP_UPDATE_SAVED"
+        )
+        assert kind is EventKind.APP_FINISHED
+
+    def test_irrelevant_state_ignored(self):
+        assert (
+            msg.classify_rm_app_line(
+                "application_1_0001 State change from NEW to NEW_SAVING on event = START"
+            )
+            is None
+        )
+
+    def test_noise_ignored(self):
+        assert msg.classify_rm_app_line("Completely unrelated text") is None
+
+
+class TestRmContainerLines:
+    def test_allocated(self):
+        kind, cid = msg.classify_rm_container_line(
+            "container_1515715200000_0001_01_000002 Container Transitioned "
+            "from NEW to ALLOCATED"
+        )
+        assert kind is EventKind.CONTAINER_ALLOCATED
+        assert cid == "container_1515715200000_0001_01_000002"
+
+    def test_acquired(self):
+        kind, _ = msg.classify_rm_container_line(
+            "container_1_0001_01_000002 Container Transitioned from ALLOCATED to ACQUIRED"
+        )
+        assert kind is EventKind.CONTAINER_ACQUIRED
+
+    def test_released(self):
+        kind, _ = msg.classify_rm_container_line(
+            "container_1_0001_01_000006 Container Transitioned from ACQUIRED to RELEASED"
+        )
+        assert kind is EventKind.CONTAINER_RELEASED
+
+
+class TestNmContainerLines:
+    @pytest.mark.parametrize(
+        "old,new,kind",
+        [
+            ("NEW", "LOCALIZING", EventKind.CONTAINER_LOCALIZING),
+            ("LOCALIZING", "SCHEDULED", EventKind.CONTAINER_SCHEDULED),
+            ("SCHEDULED", "RUNNING", EventKind.CONTAINER_NM_RUNNING),
+        ],
+    )
+    def test_transitions(self, old, new, kind):
+        got, cid = msg.classify_nm_container_line(
+            f"Container container_1_0001_01_000002 transitioned from {old} to {new}"
+        )
+        assert got is kind
+        assert cid == "container_1_0001_01_000002"
+
+    def test_cleanup_states_ignored(self):
+        assert (
+            msg.classify_nm_container_line(
+                "Container container_1_0001_01_000002 transitioned from "
+                "EXITED_WITH_SUCCESS to DONE"
+            )
+            is None
+        )
+
+
+class TestDriverLines:
+    def test_register(self):
+        kind, app = msg.classify_driver_line(
+            "Registered ApplicationMaster for application_1515715200000_0042 "
+            "(appattempt_1515715200000_0042_000001)"
+        )
+        assert kind is EventKind.DRIVER_REGISTERED
+        assert app == "application_1515715200000_0042"
+
+    def test_start_allo_marker(self):
+        kind, app = msg.classify_driver_line(
+            "SDCHECKER START_ALLO Will request 4 executor container(s) "
+            "for application_1_0007"
+        )
+        assert kind is EventKind.START_ALLO
+        assert app == "application_1_0007"
+
+    def test_end_allo_marker(self):
+        kind, _ = msg.classify_driver_line(
+            "SDCHECKER END_ALLO All requested containers allocated for "
+            "application_1_0007 (4 granted)"
+        )
+        assert kind is EventKind.END_ALLO
+
+    def test_ordinary_driver_chatter_ignored(self):
+        assert msg.classify_driver_line("Created broadcast 3 from textFile") is None
+
+
+class TestFirstTask:
+    def test_got_assigned_task(self):
+        assert msg.classify_first_task_line("Got assigned task 0")
+        assert msg.classify_first_task_line("Got assigned task 137")
+
+    def test_negatives(self):
+        assert not msg.classify_first_task_line("Got assigned task")
+        assert not msg.classify_first_task_line("Finished task 0")
+
+
+class TestIdHelpers:
+    def test_app_id_of_container(self):
+        assert (
+            msg.app_id_of_container("container_1515715200000_0042_01_000003")
+            == "application_1515715200000_0042"
+        )
+
+    def test_app_id_of_container_epoch_form(self):
+        assert (
+            msg.app_id_of_container("container_e08_1515715200000_0042_01_000003")
+            == "application_1515715200000_0042"
+        )
+
+    def test_non_container_returns_none(self):
+        assert msg.app_id_of_container("application_1_0001") is None
+
+
+class TestInstanceTypes:
+    @pytest.mark.parametrize(
+        "cls,code",
+        [
+            ("org.apache.spark.deploy.yarn.ApplicationMaster", "spm"),
+            ("org.apache.spark.executor.CoarseGrainedExecutorBackend", "spe"),
+            ("org.apache.hadoop.mapreduce.v2.app.MRAppMaster", "mrm"),
+            ("org.apache.hadoop.mapred.YarnChild", "mrs"),
+        ],
+    )
+    def test_classification(self, cls, code):
+        assert msg.instance_type_of_class(cls) == code
+
+    def test_unknown_class(self):
+        assert msg.instance_type_of_class("some.other.Thing") is None

@@ -1,0 +1,111 @@
+"""Tests for the experiment harness and figure-module plumbing.
+
+Figure modules themselves are exercised by the benchmarks (they run
+whole traces); here we cover the harness mechanics and the pure
+computation helpers with small inputs.
+"""
+
+import pytest
+
+from repro.core.stats import DelaySample
+from repro.experiments.common import SeriesTable, resolve_scale
+from repro.experiments.harness import TraceScenario, submit_dfsio_interference
+from repro.experiments.table2 import allocation_throughput
+from repro.experiments.table3 import critical_path_shares
+from repro.params import GB, SimulationParams
+
+
+class TestCommon:
+    def test_resolve_scale(self):
+        assert resolve_scale("small", 10, 100) == 10
+        assert resolve_scale("paper", 10, 100) == 100
+        with pytest.raises(ValueError):
+            resolve_scale("huge", 10, 100)
+
+    def test_series_table_render(self):
+        table = SeriesTable("t", columns=["x"])
+        table.add_row("a", {"x": DelaySample([1.0, 2.0, 3.0])})
+        table.add_row("b", {"x": DelaySample([])})
+        text = table.render()
+        assert "a" in text and "n/a" in text
+        assert table.sample("a", "x").p50 == 2.0
+        with pytest.raises(KeyError):
+            table.sample("zz", "x")
+
+
+class TestTraceScenario:
+    @pytest.fixture(scope="class")
+    def tiny_result(self):
+        return TraceScenario(
+            n_queries=4,
+            seed=51,
+            params=SimulationParams(num_nodes=5),
+            mean_interarrival_s=2.0,
+        ).run()
+
+    def test_runs_requested_queries(self, tiny_result):
+        assert len(tiny_result.report) == 4
+        assert len(tiny_result.measured_apps) == 4
+
+    def test_makespan_positive(self, tiny_result):
+        assert tiny_result.makespan > 0
+
+    def test_variant_overrides_fields(self):
+        base = TraceScenario(n_queries=4, seed=1)
+        v = base.variant(docker=True, num_executors=8)
+        assert v.docker and v.num_executors == 8
+        assert not base.docker
+
+    def test_unknown_workload_rejected(self):
+        scenario = TraceScenario(n_queries=1, workload="nonsense")
+        with pytest.raises(ValueError):
+            scenario.build()
+
+    def test_interference_apps_filtered_from_report(self):
+        scenario = TraceScenario(
+            n_queries=3,
+            seed=52,
+            params=SimulationParams(
+                num_nodes=5, dfsio_bytes_per_map=1 * GB
+            ),
+            interference=lambda bed: submit_dfsio_interference(bed, 2),
+            warmup_s=5.0,
+            mean_interarrival_s=2.0,
+        )
+        result = scenario.run()
+        # Only the 3 measured queries appear, not the dfsIO job.
+        assert len(result.report) == 3
+
+    def test_deterministic_given_seed(self):
+        def run():
+            r = TraceScenario(
+                n_queries=3, seed=53, params=SimulationParams(num_nodes=5)
+            ).run()
+            return [a.total_delay for a in r.report.apps]
+
+        assert run() == run()
+
+
+class TestTable2Helpers:
+    def test_throughput_computation(self):
+        times = [0.0, 0.1, 0.2, 0.3, 0.4]
+        assert allocation_throughput(times) == pytest.approx(10.0, rel=0.3)
+
+    def test_throughput_excludes_straggler_tail(self):
+        times = [i * 0.01 for i in range(100)] + [1000.0]
+        assert allocation_throughput(times) < 200.0  # window, not 0.1/s
+
+    def test_throughput_degenerate_inputs(self):
+        import math
+
+        assert math.isnan(allocation_throughput([1.0]))
+        assert allocation_throughput([1.0, 1.0]) == float("inf")
+
+
+class TestTable3Helpers:
+    def test_critical_path_shares_sum_below_one(self, single_app_run):
+        bed, _app, _report = single_app_run
+        shares = critical_path_shares(bed.log_store)
+        assert shares
+        assert 0.0 < sum(shares.values()) <= 1.0 + 1e-9
+        assert shares["executor"] > 0

@@ -1,0 +1,104 @@
+"""Failure-injection tests: task attempts fail, jobs still complete,
+and SDchecker's measurements survive the noise."""
+
+import pytest
+
+from repro.core.checker import SDChecker
+from repro.core.validate import validate_traces
+from repro.params import SimulationParams
+from repro.simul.engine import SimulationError
+from repro.testbed import Testbed
+from tests.conftest import make_query_app
+
+
+def _run(failure_prob, max_attempts=8, seed=71):
+    params = SimulationParams(
+        num_nodes=5,
+        spark_task_failure_prob=failure_prob,
+        spark_task_max_attempts=max_attempts,
+    )
+    bed = Testbed(params=params, seed=seed)
+    app = make_query_app("q", query=5)
+    bed.submit(app)
+    bed.run_until_all_finished(limit=10_000)
+    return bed, app
+
+
+class TestTaskFailures:
+    def test_job_completes_despite_failures(self):
+        bed, app = _run(0.15)
+        assert app.finished.processed
+        assert "job_done" in app.milestones
+
+    def test_retries_lengthen_the_job(self):
+        _bed, app = _run(0.15)
+        _bed2, clean = _run(0.0)
+        assert app.milestones["job_done"] > clean.milestones["job_done"]
+
+    def test_failure_lines_logged(self):
+        bed, app = _run(0.15)
+        exec_logs = [
+            line
+            for daemon in bed.log_store.daemons
+            if daemon.startswith("container_")
+            for line in bed.log_store.render(daemon)
+        ]
+        assert any("Exception in task" in line for line in exec_logs)
+
+    def test_sdchecker_unaffected_by_failure_noise(self):
+        bed, app = _run(0.15)
+        report = SDChecker().analyze(bed.log_store)
+        delays = report.apps[0]
+        assert delays.complete()
+        assert delays.total_delay > 0
+        # Error lines do not confuse the validator either.
+        assert validate_traces(SDChecker().group(bed.log_store)) == []
+
+    def test_max_attempts_exhaustion_raises(self):
+        with pytest.raises(SimulationError, match="maxFailures"):
+            _run(1.0, max_attempts=2)
+
+    def test_zero_probability_never_fails(self):
+        bed, _app = _run(0.0)
+        logs = [
+            line
+            for daemon in bed.log_store.daemons
+            for line in bed.log_store.render(daemon)
+        ]
+        assert not any("Exception in task" in line for line in logs)
+
+
+class TestFairScheduler:
+    def test_runs_trace_end_to_end(self):
+        bed = Testbed(params=SimulationParams(num_nodes=5), seed=72, scheduler="fair")
+        apps = [make_query_app(f"q{i}", query=6) for i in range(3)]
+        for i, app in enumerate(apps):
+            bed.submit(app, delay=2.0 * i)
+        bed.run_until_all_finished(limit=10_000)
+        assert all(a.finished.processed for a in apps)
+        report = SDChecker().analyze(bed.log_store)
+        assert all(a.complete() for a in report.apps)
+
+    def test_memory_conserved(self):
+        bed = Testbed(params=SimulationParams(num_nodes=5), seed=73, scheduler="fair")
+        app = make_query_app("q", query=6)
+        bed.submit(app)
+        bed.run_until_all_finished(limit=10_000)
+        bed.run(until=bed.sim.now + 5.0)
+        assert bed.cluster.used_memory_mb() == 0
+
+    def test_starved_app_served_first(self):
+        """A small late app gets containers before the hog grows more."""
+        from repro.mapreduce.application import MapReduceApplication
+
+        bed = Testbed(params=SimulationParams(num_nodes=5), seed=74, scheduler="fair")
+        hog = MapReduceApplication("hog", num_maps=200)
+        bed.submit(hog)
+        small = make_query_app("small", query=6)
+        bed.submit(small, delay=5.0)
+        bed.run_until_all_finished(limit=10_000)
+        assert small.milestones["allocation_complete"] < hog.milestones["job_done"]
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(SimulationError):
+            Testbed(params=SimulationParams(num_nodes=2), scheduler="random")

@@ -1,0 +1,213 @@
+"""Tests for the simulated HDFS."""
+
+import pytest
+
+from repro.cluster.topology import Cluster
+from repro.hdfs.filesystem import Hdfs
+from repro.params import GB, MB, SimulationParams
+from repro.simul.distributions import RandomSource
+from repro.simul.engine import SimulationError, Simulator
+
+
+@pytest.fixture
+def fs(sim, small_params):
+    cluster = Cluster(sim, small_params)
+    return Hdfs(sim, cluster, small_params, RandomSource(3)), cluster
+
+
+class TestNamespace:
+    def test_register_and_lookup(self, fs):
+        hdfs, _ = fs
+        file = hdfs.register_file("/data/x", 100 * MB)
+        assert hdfs.lookup("/data/x") is file
+        assert hdfs.exists("/data/x")
+
+    def test_duplicate_path_rejected(self, fs):
+        hdfs, _ = fs
+        hdfs.register_file("/data/x", 1.0)
+        with pytest.raises(SimulationError):
+            hdfs.register_file("/data/x", 1.0)
+
+    def test_missing_file_raises(self, fs):
+        with pytest.raises(SimulationError):
+            fs[0].lookup("/nope")
+
+    def test_negative_size_rejected(self, fs):
+        with pytest.raises(SimulationError):
+            fs[0].register_file("/bad", -1.0)
+
+    def test_replica_count_for_small_file(self, fs):
+        hdfs, _ = fs
+        file = hdfs.register_file("/small", 100 * MB)
+        assert len(file.replicas) == 3  # replication factor
+
+    def test_replica_spread_grows_with_size(self, fs):
+        hdfs, cluster = fs
+        file = hdfs.register_file("/huge", 200 * GB)
+        # Spread capped at the cluster size (5 nodes here).
+        assert len(file.replicas) == len(cluster)
+
+
+class TestReads:
+    def test_cached_read_is_network_bound(self, fs, sim):
+        hdfs, cluster = fs
+        file = hdfs.register_file("/jar", 500 * MB)
+        client = next(n for n in cluster if n not in file.replicas)
+        elapsed = {}
+
+        def reader():
+            elapsed["t"] = yield from hdfs.read(client, file)
+
+        sim.process(reader())
+        sim.run()
+        # 500 MB through a 1250 MB/s client NIC: ~0.4 s + NN lookup.
+        assert 0.3 < elapsed["t"] < 0.6
+
+    def test_cold_read_is_disk_bound(self, fs, sim):
+        hdfs, cluster = fs
+        file = hdfs.register_file("/big", 8 * GB)
+        client = cluster.nodes[0]
+        elapsed = {}
+
+        def reader():
+            elapsed["t"] = yield from hdfs.read(client, file)
+
+        sim.process(reader())
+        sim.run()
+        # ~7/8 cold: 3 parallel source disks at 400 MB/s each.
+        # Lower bound: 8 GB / (3 * 400 MB/s) ~ 6.8 s.
+        assert elapsed["t"] > 5.0
+
+    def test_partial_read(self, fs, sim):
+        hdfs, cluster = fs
+        file = hdfs.register_file("/table", 10 * GB)
+        client = cluster.nodes[0]
+        times = {}
+
+        def reader(name, nbytes):
+            times[name] = yield from hdfs.read(client, file, nbytes=nbytes)
+
+        sim.process(reader("small", 64 * MB))
+        sim.run()
+        assert times["small"] < 1.5
+
+    def test_zero_byte_read_costs_only_lookup(self, fs, sim):
+        hdfs, cluster = fs
+        file = hdfs.register_file("/x", 1 * GB)
+        elapsed = {}
+
+        def reader():
+            elapsed["t"] = yield from hdfs.read(cluster.nodes[0], file, nbytes=0)
+
+        sim.process(reader())
+        sim.run()
+        assert elapsed["t"] < 0.1
+
+    def test_negative_read_rejected(self, fs, sim):
+        hdfs, cluster = fs
+        file = hdfs.register_file("/x", 1 * GB)
+
+        def reader():
+            yield from hdfs.read(cluster.nodes[0], file, nbytes=-5)
+
+        sim.process(reader())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_concurrent_readers_contend(self, fs):
+        """Two clients reading the same cold file are slower than one."""
+
+        def run(n_readers):
+            sim = Simulator()
+            params = SimulationParams(num_nodes=5)
+            cluster = Cluster(sim, params)
+            hdfs = Hdfs(sim, cluster, params, RandomSource(3))
+            file = hdfs.register_file("/big", 6 * GB)
+            times = []
+
+            def reader(client):
+                t = yield from hdfs.read(client, file)
+                times.append(t)
+
+            for i in range(n_readers):
+                sim.process(reader(cluster.nodes[i]))
+            sim.run()
+            return max(times)
+
+        assert run(3) > run(1) * 1.3
+
+
+class TestWrites:
+    def test_write_through_pipeline(self, fs, sim):
+        hdfs, cluster = fs
+        elapsed = {}
+
+        def writer():
+            elapsed["t"] = yield from hdfs.write(cluster.nodes[0], 1 * GB)
+
+        sim.process(writer())
+        sim.run()
+        # Bottleneck: replica disks at 400 MB/s -> >= 2.5 s.
+        assert elapsed["t"] >= 2.4
+
+    def test_write_demand_cap(self, fs, sim):
+        hdfs, cluster = fs
+        elapsed = {}
+
+        def writer():
+            elapsed["t"] = yield from hdfs.write(
+                cluster.nodes[0], 1 * GB, demand=100 * MB
+            )
+
+        sim.process(writer())
+        sim.run()
+        assert elapsed["t"] == pytest.approx(10.24, rel=0.05)
+
+    def test_zero_write(self, fs, sim):
+        hdfs, cluster = fs
+        done = {}
+
+        def writer():
+            done["t"] = yield from hdfs.write(cluster.nodes[0], 0.0)
+
+        sim.process(writer())
+        sim.run()
+        assert done["t"] == 0.0
+
+    def test_negative_write_rejected(self, fs, sim):
+        hdfs, cluster = fs
+
+        def writer():
+            yield from hdfs.write(cluster.nodes[0], -1.0)
+
+        sim.process(writer())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_writes_interfere_with_reads(self):
+        """A cached read slows down while heavy writes evict the cache
+        and saturate disks — the Fig 12 coupling in miniature."""
+
+        def run(with_writers):
+            sim = Simulator()
+            params = SimulationParams(num_nodes=5)
+            cluster = Cluster(sim, params)
+            hdfs = Hdfs(sim, cluster, params, RandomSource(3))
+            file = hdfs.register_file("/jar", 500 * MB)
+            client = next(n for n in cluster if n not in file.replicas)
+            if with_writers:
+                for node in cluster:
+                    for _ in range(4):
+                        sim.process(hdfs.write(node, 20 * GB, demand=250 * MB))
+            result = {}
+
+            def reader():
+                yield sim.timeout(1.0)  # let writers ramp
+                result["t"] = yield from hdfs.read(client, file)
+
+            sim.process(reader())
+            while "t" not in result:
+                sim.step()
+            return result["t"]
+
+        assert run(True) > run(False) * 2.0

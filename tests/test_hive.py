@@ -1,0 +1,95 @@
+"""Tests for the Hive metastore and TPC-H population pipeline."""
+
+import pytest
+
+from repro.core.checker import SDChecker
+from repro.hive.metastore import HiveMetastore, HiveTable
+from repro.hive.populate import HiveTpchLoader
+from repro.params import GB, SimulationParams
+from repro.simul.engine import SimulationError
+from repro.spark.application import SparkApplication
+from repro.testbed import Testbed
+from repro.workloads.tpch import TPCH_TABLES, TPCHQueryWorkload
+
+
+class TestMetastore:
+    def test_database_and_table_lifecycle(self, bed):
+        ms = HiveMetastore()
+        ms.create_database("tpch")
+        file = bed.hdfs.register_file("/w/tpch.db/nation", 1024.0)
+        table = HiveTable("tpch", "nation", (("n_nationkey", "int"),), file)
+        ms.register_table(table)
+        assert ms.table("tpch", "nation").qualified_name == "tpch.nation"
+        assert ms.total_bytes("tpch") == 1024.0
+
+    def test_duplicate_database_rejected(self):
+        ms = HiveMetastore()
+        ms.create_database("db")
+        with pytest.raises(SimulationError):
+            ms.create_database("db")
+
+    def test_duplicate_table_rejected(self, bed):
+        ms = HiveMetastore()
+        ms.create_database("db")
+        file = bed.hdfs.register_file("/w/db.db/t", 1.0)
+        ms.register_table(HiveTable("db", "t", (), file))
+        with pytest.raises(SimulationError):
+            ms.register_table(HiveTable("db", "t", (), file))
+
+    def test_missing_lookups_raise(self):
+        ms = HiveMetastore()
+        with pytest.raises(SimulationError):
+            ms.table("nope", "t")
+        with pytest.raises(SimulationError):
+            ms.tables("nope")
+
+
+class TestPopulation:
+    @pytest.fixture(scope="class")
+    def populated(self):
+        bed = Testbed(params=SimulationParams(num_nodes=5), seed=91)
+        loader = HiveTpchLoader("tpch1g", total_bytes=1 * GB)
+        loader.submit(bed)
+        bed.run_until_all_finished(limit=10_000)
+        return bed, loader
+
+    def test_all_eight_tables_registered(self, populated):
+        _bed, loader = populated
+        assert loader.loaded
+        assert set(loader.tables) == set(TPCH_TABLES)
+
+    def test_table_sizes_follow_dbgen_fractions(self, populated):
+        _bed, loader = populated
+        lineitem = loader.table("lineitem").size_bytes
+        assert lineitem == pytest.approx(1 * GB * TPCH_TABLES["lineitem"], rel=0.01)
+
+    def test_metastore_knows_schemas(self, populated):
+        _bed, loader = populated
+        table = loader.metastore.table("tpch1g", "orders")
+        assert ("o_orderkey", "bigint") in table.schema
+
+    def test_access_before_load_rejected(self):
+        loader = HiveTpchLoader("fresh", total_bytes=1 * GB)
+        with pytest.raises(SimulationError, match="not populated"):
+            _ = loader.tables
+
+    def test_load_takes_real_time(self, populated):
+        """The insert streams bytes through HDFS — not instantaneous."""
+        bed, _loader = populated
+        assert bed.sim.now > 3.0
+
+    def test_query_against_hive_populated_tables(self, populated):
+        """A Spark-SQL query runs against the loaded database unchanged."""
+        bed, loader = populated
+        app = SparkApplication(
+            "q6-on-hive", TPCHQueryWorkload(loader, query=6), num_executors=2
+        )
+        bed.submit(app)
+        bed.run_until_all_finished(limit=10_000)
+        report = SDChecker().analyze(bed.log_store)
+        delays = next(a for a in report.apps if a.app_id == str(app.app_id))
+        assert delays.complete()
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(SimulationError):
+            HiveTpchLoader("x", total_bytes=0)

@@ -1,0 +1,119 @@
+"""Tests for log records, log4j formatting and the log store."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.logsys.record import LogRecord, format_timestamp, parse_timestamp
+from repro.logsys.store import LogStore
+
+
+class TestTimestampFormat:
+    def test_zero_renders_epoch_midnight(self):
+        assert format_timestamp(0.0) == "2018-01-12 00:00:00,000"
+
+    def test_millisecond_rounding(self):
+        assert format_timestamp(1.23456).endswith(",235")
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_timestamp(-0.001)
+
+    def test_day_rollover(self):
+        rendered = format_timestamp(86_400.0 + 3600.0)
+        assert rendered.startswith("2018-01-13 01:00:00")
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.floats(min_value=0.0, max_value=86_400.0 * 10))
+    def test_round_trip_at_ms_precision(self, seconds):
+        rendered = format_timestamp(seconds)
+        record = LogRecord.parse(f"{rendered} INFO X: y")
+        assert record.timestamp == pytest.approx(seconds, abs=0.0005 + 1e-9)
+
+
+class TestLogRecord:
+    def test_render_layout(self):
+        r = LogRecord(1.5, "org.apache.Foo", "hello world")
+        assert r.render() == "2018-01-12 00:00:01,500 INFO org.apache.Foo: hello world"
+
+    def test_parse_round_trip(self):
+        r = LogRecord(12.345, "RMAppImpl", "a: b: c", level="WARN")
+        back = LogRecord.parse(r.render())
+        assert back.cls == "RMAppImpl"
+        assert back.message == "a: b: c"
+        assert back.level == "WARN"
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            LogRecord.parse("java.lang.NullPointerException")
+
+    def test_try_parse_returns_none_for_noise(self):
+        assert LogRecord.try_parse("   at Foo.bar(Foo.java:42)") is None
+
+    def test_parse_class_with_dollar_sign(self):
+        line = "2018-01-12 00:00:00,001 INFO a.b.C$D: inner class logger"
+        assert LogRecord.parse(line).cls == "a.b.C$D"
+
+
+class TestLogStore:
+    def test_logger_stamps_with_clock(self):
+        store = LogStore()
+        now = [0.0]
+        logger = store.logger("daemon-a", lambda: now[0])
+        logger.info("Cls", "first")
+        now[0] = 2.0
+        logger.warn("Cls", "second")
+        records = store.records("daemon-a")
+        assert [r.timestamp for r in records] == [0.0, 2.0]
+        assert records[1].level == "WARN"
+
+    def test_daemons_sorted(self):
+        store = LogStore()
+        store.logger("zeta", lambda: 0.0).info("C", "m")
+        store.logger("alpha", lambda: 0.0).info("C", "m")
+        assert store.daemons == ["alpha", "zeta"]
+
+    def test_len_counts_all_records(self):
+        store = LogStore()
+        log = store.logger("d", lambda: 0.0)
+        for i in range(5):
+            log.info("C", f"m{i}")
+        assert len(store) == 5
+
+    def test_dump_and_load_round_trip(self, tmp_path):
+        store = LogStore()
+        log = store.logger("hadoop-resourcemanager", lambda: 1.0)
+        log.info("RMAppImpl", "application_1_0001 State change from NEW to SUBMITTED on event = START")
+        log.error("Other", "unrelated")
+        paths = store.dump(tmp_path)
+        assert [p.name for p in paths] == ["hadoop-resourcemanager.log"]
+        loaded = LogStore.load(tmp_path)
+        assert len(loaded) == 2
+        assert loaded.records("hadoop-resourcemanager")[0].cls == "RMAppImpl"
+
+    def test_load_skips_unparseable_lines(self, tmp_path):
+        (tmp_path / "daemon.log").write_text(
+            "2018-01-12 00:00:00,100 INFO A: ok\n"
+            "java.io.IOException: broken pipe\n"
+            "\tat Foo.bar(Foo.java:1)\n"
+            "2018-01-12 00:00:00,200 INFO B: also ok\n"
+        )
+        store = LogStore.load(tmp_path)
+        assert [r.cls for r in store.records("daemon")] == ["A", "B"]
+
+    def test_from_lines(self):
+        store = LogStore.from_lines(
+            [
+                ("d1", "2018-01-12 00:00:00,000 INFO X: m"),
+                ("d1", "not a log line"),
+                ("d2", "2018-01-12 00:00:01,000 INFO Y: n"),
+            ]
+        )
+        assert len(store.records("d1")) == 1
+        assert len(store.records("d2")) == 1
+
+    def test_all_records_iterates_in_daemon_order(self):
+        store = LogStore()
+        store.logger("b", lambda: 0.0).info("C", "m1")
+        store.logger("a", lambda: 0.0).info("C", "m2")
+        daemons = [d for d, _r in store.all_records()]
+        assert daemons == ["a", "b"]

@@ -1,0 +1,73 @@
+"""Tests for the MapReduce framework and its workload factories."""
+
+import pytest
+
+from repro.core.checker import SDChecker
+from repro.mapreduce.application import MapReduceApplication
+from repro.params import GB, SimulationParams
+from repro.testbed import Testbed
+from repro.workloads.dfsio import dfsio_map_body, make_dfsio_app
+from repro.workloads.wordcount import make_mr_wordcount
+
+
+@pytest.fixture
+def mr_run():
+    bed = Testbed(params=SimulationParams(num_nodes=5), seed=23)
+    app = MapReduceApplication("wc", num_maps=6, num_reduces=2)
+    bed.submit(app)
+    bed.run_until_all_finished(limit=5000)
+    return bed, app, SDChecker().analyze(bed.log_store)
+
+
+class TestMapReduceApplication:
+    def test_phases_run_in_order(self, mr_run):
+        _bed, app, _report = mr_run
+        assert app.milestones["map_done"] <= app.milestones["reduce_done"]
+        assert app.milestones["reduce_done"] <= app.milestones["job_done"]
+
+    def test_all_containers_allocated(self, mr_run):
+        _bed, app, _report = mr_run
+        # AM + 6 maps + 2 reduces.
+        assert len(app.grants) == 9
+
+    def test_instance_types_from_logs(self, mr_run):
+        """SDchecker classifies mrm/mrsm/mrsr from the first log lines."""
+        _bed, _app, report = mr_run
+        types = report.launching_by_instance_type()
+        assert len(types.get("mrm", [])) == 1
+        assert len(types.get("mrsm", [])) == 6
+        assert len(types.get("mrsr", [])) == 2
+
+    def test_am_heartbeat_is_flat_one_second(self, small_params):
+        app = MapReduceApplication("wc", num_maps=1)
+        assert app.am_heartbeat_intervals(small_params) == (1.0, 1.0)
+
+    def test_zero_maps_rejected(self):
+        with pytest.raises(ValueError):
+            MapReduceApplication("bad", num_maps=0)
+
+    def test_rm_app_reaches_finished(self, mr_run):
+        bed, app, _report = mr_run
+        assert bed.rm.apps[app.app_id].rm_app.state == "FINISHED"
+
+
+class TestFactories:
+    def test_mr_wordcount_sizes_by_blocks(self, small_params):
+        app = make_mr_wordcount("wc", 10 * small_params.hdfs_block_bytes, small_params)
+        assert app.num_maps == 10
+
+    def test_mr_wordcount_minimum_one_map(self, small_params):
+        app = make_mr_wordcount("wc", 1.0, small_params)
+        assert app.num_maps == 1
+
+    def test_dfsio_app_writes_to_hdfs(self):
+        params = SimulationParams(
+            num_nodes=5, dfsio_bytes_per_map=2 * GB, dfsio_stream_rate=400 * 1024 * 1024
+        )
+        bed = Testbed(params=params, seed=29)
+        app = make_dfsio_app("dfsio", num_maps=3)
+        bed.submit(app)
+        bed.run_until_all_finished(limit=5000)
+        # Each map streamed 2 GB through disks: the job cannot finish
+        # faster than the data movement allows.
+        assert app.milestones["job_done"] > 5.0

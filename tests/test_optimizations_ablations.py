@@ -1,0 +1,110 @@
+"""Tests for the section V-B optimization features and ablation knobs."""
+
+import pytest
+
+from repro.core.checker import SDChecker
+from repro.params import SimulationParams
+from repro.testbed import Testbed
+from tests.conftest import make_query_app
+
+
+def _run_one(params, seed=61, **app_kwargs):
+    bed = Testbed(params=params, seed=seed)
+    app = make_query_app("q", query=5, **app_kwargs)
+    bed.submit(app)
+    bed.run_until_all_finished(limit=5000)
+    return bed, app, SDChecker().analyze(bed.log_store)
+
+
+class TestJvmReuse:
+    def test_warm_pool_accumulates(self):
+        params = SimulationParams(num_nodes=1, jvm_reuse=True)
+        bed = Testbed(params=params, seed=61)
+        first = make_query_app("q1", query=6)
+        bed.submit(first)
+        bed.run_until_all_finished(limit=5000)
+        bed.run(until=bed.sim.now + 5.0)  # AM container cleanup lands
+        nm = bed.rm.node_managers[0]
+        assert nm._warm_jvms.get("spe", 0) >= 1
+        assert nm._warm_jvms.get("spm", 0) >= 1
+
+    def test_second_app_reuses_and_speeds_up(self):
+        def driver_delay(reuse):
+            params = SimulationParams(num_nodes=1, jvm_reuse=reuse)
+            bed = Testbed(params=params, seed=61)
+            first = make_query_app("q1", query=6)
+            second = make_query_app("q2", query=6)
+            bed.submit(first)
+            bed.submit(second, delay=60.0)  # after the first completed
+            bed.run_until_all_finished(limit=5000)
+            report = SDChecker().analyze(bed.log_store)
+            delays = {a.app_id: a.driver_delay for a in report.apps}
+            return delays[str(second.app_id)]
+
+        assert driver_delay(True) < 0.75 * driver_delay(False)
+
+    def test_disabled_by_default(self):
+        assert not SimulationParams().jvm_reuse
+
+    def test_invalid_discount_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationParams(jvm_reuse_discount=1.0)
+
+
+class TestDedicatedLocalization:
+    def test_dedicated_storage_serves_locally(self):
+        params = SimulationParams(num_nodes=5, localization_storage="dedicated")
+        _bed, _app, report = _run_one(params)
+        loc = report.container_sample("localization", workers_only=False)
+        # 500 MB at 500 MB/s SSD: ~1 s + fixed parts, no NIC legs.
+        assert loc.max() < 2.5
+
+    def test_invalid_storage_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationParams(localization_storage="tape")
+
+
+class TestLocalizationCacheKnob:
+    def test_cache_off_forces_refetch(self):
+        from repro.mapreduce.application import MapReduceApplication
+
+        def map_done(cache):
+            params = SimulationParams(num_nodes=2, nm_localization_cache=cache)
+            bed = Testbed(params=params, seed=62)
+            app = MapReduceApplication("wc", num_maps=40)
+            bed.submit(app)
+            bed.run_until_all_finished(limit=5000)
+            return app.milestones["map_done"]
+
+        assert map_done(False) > map_done(True)
+
+
+class TestHeartbeatKnob:
+    def test_faster_beat_cuts_acquisition_cap(self):
+        from repro.mapreduce.application import MapReduceApplication
+
+        def acquisition_max(interval):
+            params = SimulationParams(num_nodes=5, mr_am_heartbeat_s=interval)
+            bed = Testbed(params=params, seed=63)
+            bed.submit(MapReduceApplication("wc", num_maps=40))
+            bed.run_until_all_finished(limit=5000)
+            report = SDChecker().analyze(bed.log_store)
+            return report.container_sample("acquisition").max()
+
+        assert acquisition_max(0.25) <= 0.3
+        assert acquisition_max(2.0) <= 2.1
+        assert acquisition_max(2.0) > 0.5
+
+    def test_rpc_counter_ticks(self, single_app_run):
+        bed, _app, _report = single_app_run
+        assert bed.rm.allocate_rpc_count > 0
+
+
+class TestEvictionKnob:
+    def test_zero_sensitivity_disables_eviction(self, sim):
+        from repro.cluster.contention import cold_fraction
+        from tests.test_cluster import make_node
+
+        node = make_node(sim)
+        node.begin_write(1e10)
+        assert cold_fraction(node, 100 * 1024**2, 1024**3, sensitivity=0.0) == 0.0

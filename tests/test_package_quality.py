@@ -1,0 +1,78 @@
+"""Package-level quality gates: imports, exports, docstrings."""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+ALL_MODULES = sorted(
+    name
+    for _finder, name, _ispkg in pkgutil.walk_packages(
+        repro.__path__, prefix="repro."
+    )
+)
+
+
+class TestImports:
+    @pytest.mark.parametrize("module_name", ALL_MODULES)
+    def test_every_module_imports(self, module_name):
+        importlib.import_module(module_name)
+
+    def test_module_inventory_is_complete(self):
+        """The package has the subsystems DESIGN.md promises."""
+        packages = {name.split(".")[1] for name in ALL_MODULES}
+        assert {
+            "simul",
+            "logsys",
+            "cluster",
+            "hdfs",
+            "yarn",
+            "spark",
+            "mapreduce",
+            "hive",
+            "workloads",
+            "core",
+            "experiments",
+        } <= packages
+
+
+class TestExports:
+    def test_top_level_all_resolves(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    @pytest.mark.parametrize(
+        "module_name",
+        [m for m in ALL_MODULES if not m.rsplit(".", 1)[-1].startswith("_")],
+    )
+    def test_module_all_entries_resolve(self, module_name):
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{module_name}.{name}"
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize("module_name", ALL_MODULES)
+    def test_every_module_documented(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__ and len(module.__doc__.strip()) > 20, module_name
+
+    def test_public_api_documented(self):
+        from repro.core.checker import SDChecker
+        from repro.testbed import Testbed
+
+        for obj in (SDChecker, SDChecker.analyze, Testbed, Testbed.submit):
+            assert obj.__doc__ and obj.__doc__.strip()
+
+
+class TestVersioning:
+    def test_version_string(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3 and all(p.isdigit() for p in parts)
+
+    def test_py_typed_marker_shipped(self):
+        from pathlib import Path
+
+        assert (Path(repro.__file__).parent / "py.typed").exists()

@@ -1,0 +1,75 @@
+"""Tests for the calibration parameter container."""
+
+import dataclasses
+
+import pytest
+
+from repro.params import GB, MB, SimulationParams
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        SimulationParams().validate()  # no raise
+
+    def test_with_overrides_returns_new_instance(self):
+        base = SimulationParams()
+        new = base.with_overrides(num_nodes=10)
+        assert new.num_nodes == 10
+        assert base.num_nodes == 25  # untouched
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("num_nodes", 0),
+            ("min_registered_resources_ratio", 0.0),
+            ("min_registered_resources_ratio", 1.5),
+            ("hdfs_replication", 0),
+            ("page_cache_bytes", -1.0),
+            ("resource_calculator", "weird"),
+        ],
+    )
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            SimulationParams().with_overrides(**{field: value})
+
+    def test_executor_must_fit_on_node(self):
+        with pytest.raises(ValueError):
+            SimulationParams(memory_per_node_mb=1024, executor_memory_mb=4096)
+
+    def test_jvm_table_must_cover_all_instance_types(self):
+        with pytest.raises(ValueError):
+            SimulationParams(jvm_start_median_s={"spm": 0.5})
+
+    def test_constructor_validates(self):
+        with pytest.raises(ValueError):
+            SimulationParams(num_nodes=-1)
+
+
+class TestDerivedExpectations:
+    """Sanity anchors the calibration depends on."""
+
+    def test_paper_testbed_shape(self):
+        p = SimulationParams()
+        assert p.num_nodes == 25
+        assert p.cores_per_node == 32
+        assert p.executor_memory_mb == 4096 and p.executor_vcores == 8
+
+    def test_units_are_bytes_per_second(self):
+        p = SimulationParams()
+        assert p.network_bandwidth == 1250 * MB  # 10 Gbps
+        assert p.page_cache_bytes == 1 * GB
+
+    def test_heartbeats(self):
+        p = SimulationParams()
+        assert p.mr_am_heartbeat_s == 1.0  # the Fig 7c cap
+        assert p.spark_am_heartbeat_s < p.mr_am_heartbeat_s
+
+    def test_gate_ratio_is_spark_default(self):
+        assert SimulationParams().min_registered_resources_ratio == 0.8
+
+    def test_dataclass_fields_have_defaults(self):
+        for f in dataclasses.fields(SimulationParams):
+            assert (
+                f.default is not dataclasses.MISSING
+                or f.default_factory is not dataclasses.MISSING
+            ), f"{f.name} has no default"

@@ -1,0 +1,114 @@
+"""Property-based invariants over randomized end-to-end workloads.
+
+Hypothesis drives small random mixes of Spark and MapReduce jobs on a
+small cluster; the properties assert global soundness that no specific
+scenario test can cover:
+
+* every submitted application reaches FINISHED;
+* all reserved memory is returned;
+* container IDs are globally unique and SDchecker groups them under
+  the right applications;
+* the mined logs are state-machine-consistent (validator clean);
+* every measurable delay component is non-negative;
+* in-application + out-application always reassemble the total.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.checker import SDChecker
+from repro.core.validate import validate_traces
+from repro.mapreduce.application import MapReduceApplication
+from repro.params import GB, SimulationParams
+from repro.spark.application import SparkApplication
+from repro.testbed import Testbed
+from repro.workloads.tpch import TPCHDataset, TPCHQueryWorkload
+from repro.workloads.wordcount import WordCountWorkload
+
+
+spark_job = st.fixed_dictionaries(
+    {
+        "type": st.just("spark"),
+        "query": st.integers(1, 22),
+        "executors": st.integers(1, 6),
+        "sql": st.booleans(),
+        "delay": st.floats(0.0, 20.0),
+    }
+)
+mr_job = st.fixed_dictionaries(
+    {
+        "type": st.just("mr"),
+        "maps": st.integers(1, 20),
+        "reduces": st.integers(0, 3),
+        "delay": st.floats(0.0, 20.0),
+    }
+)
+workload_mix = st.lists(st.one_of(spark_job, mr_job), min_size=1, max_size=4)
+
+
+def _run_mix(mix, seed):
+    bed = Testbed(params=SimulationParams(num_nodes=4), seed=seed)
+    dataset = TPCHDataset(1 * GB, name=f"prop-{seed}-{id(mix) % 100000}")
+    apps = []
+    for i, job in enumerate(mix):
+        if job["type"] == "spark":
+            workload = (
+                TPCHQueryWorkload(dataset, query=job["query"])
+                if job["sql"]
+                else WordCountWorkload(1 * GB, name=f"wc-{seed}-{i}")
+            )
+            app = SparkApplication(
+                f"spark-{i}", workload, num_executors=job["executors"]
+            )
+        else:
+            app = MapReduceApplication(
+                f"mr-{i}", num_maps=job["maps"], num_reduces=job["reduces"]
+            )
+        apps.append(app)
+        bed.submit(app, delay=job["delay"])
+    bed.run_until_all_finished(limit=20_000)
+    bed.run(until=bed.sim.now + 10.0)  # let container cleanup land
+    return bed, apps
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(mix=workload_mix, seed=st.integers(0, 50))
+def test_end_to_end_invariants(mix, seed):
+    bed, apps = _run_mix(mix, seed)
+
+    # 1. Everything finishes and memory is conserved.
+    assert all(app.finished.processed for app in apps)
+    assert bed.cluster.used_memory_mb() == 0
+
+    # 2. Container IDs unique across the run.
+    ids = [str(g.container_id) for app in apps for g in app.grants]
+    assert len(ids) == len(set(ids))
+
+    # 3. SDchecker groups each container under its application.
+    checker = SDChecker()
+    traces = checker.group(bed.log_store)
+    assert set(traces) == {str(app.app_id) for app in apps}
+    for app in apps:
+        trace = traces[str(app.app_id)]
+        for cid in trace.containers:
+            assert cid.split("_")[2] == f"{app.app_id.app_seq:04d}"
+
+    # 4. The logs are state-machine consistent.
+    assert validate_traces(traces) == []
+
+    # 5. All measurable delays are non-negative and consistent.
+    report = checker.analyze(bed.log_store)
+    for delays in report.apps:
+        if delays.total_delay is not None:
+            assert delays.total_delay >= 0
+        if delays.in_app_delay is not None and delays.out_app_delay is not None:
+            assert delays.in_app_delay + delays.out_app_delay == (
+                __import__("pytest").approx(delays.total_delay)
+            )
+        for c in delays.containers:
+            for value in (c.acquisition_delay, c.localization_delay, c.launching_delay):
+                if value is not None:
+                    assert value >= -1e-9

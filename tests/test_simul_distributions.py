@@ -1,0 +1,99 @@
+"""Tests for the seeded random substreams."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.simul.distributions import RandomSource
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = RandomSource(5).child("x")
+        b = RandomSource(5).child("x")
+        assert [a.uniform() for _ in range(10)] == [b.uniform() for _ in range(10)]
+
+    def test_different_names_differ(self):
+        root = RandomSource(5)
+        assert root.child("a").uniform() != root.child("b").uniform()
+
+    def test_child_independent_of_sibling_creation_order(self):
+        r1 = RandomSource(5)
+        r1.child("first")
+        v1 = r1.child("target").uniform()
+        r2 = RandomSource(5)
+        v2 = r2.child("target").uniform()
+        assert v1 == v2
+
+    def test_nested_names_compose(self):
+        a = RandomSource(5).child("x").child("y")
+        b = RandomSource(5, "root.x.y")
+        assert a.uniform() == b.uniform()
+
+
+class TestDraws:
+    def test_lognormal_median_is_the_median(self):
+        rng = RandomSource(0).child("ln")
+        draws = [rng.lognormal_median(3.0, 0.4) for _ in range(4000)]
+        assert np.median(draws) == pytest.approx(3.0, rel=0.05)
+
+    def test_lognormal_rejects_nonpositive_median(self):
+        with pytest.raises(ValueError):
+            RandomSource(0).lognormal_median(0.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        scale=st.floats(min_value=0.01, max_value=10.0),
+        alpha=st.floats(min_value=0.5, max_value=5.0),
+        cap_factor=st.floats(min_value=1.0, max_value=100.0),
+    )
+    def test_bounded_pareto_respects_bounds(self, scale, alpha, cap_factor):
+        cap = scale * cap_factor
+        rng = RandomSource(1).child("bp")
+        for _ in range(20):
+            draw = rng.bounded_pareto(scale, alpha, cap)
+            assert scale <= draw <= cap
+
+    def test_bounded_pareto_invalid_args(self):
+        with pytest.raises(ValueError):
+            RandomSource(0).bounded_pareto(2.0, 1.0, 1.0)
+
+    def test_truncated_normal_clipping(self):
+        rng = RandomSource(2).child("tn")
+        draws = [rng.truncated_normal(0.0, 5.0, low=0.0, high=1.0) for _ in range(200)]
+        assert all(0.0 <= d <= 1.0 for d in draws)
+
+    def test_integers_range(self):
+        rng = RandomSource(3).child("i")
+        draws = {rng.integers(2, 5) for _ in range(100)}
+        assert draws == {2, 3, 4}
+
+    def test_sample_distinct_and_capped(self):
+        rng = RandomSource(4).child("s")
+        population = list(range(10))
+        picked = rng.sample(population, 4)
+        assert len(picked) == len(set(picked)) == 4
+        assert rng.sample(population, 50) != []  # capped at len, no raise
+        assert len(rng.sample(population, 50)) == 10
+
+    def test_jitter_within_bounds(self):
+        rng = RandomSource(5).child("j")
+        for _ in range(100):
+            v = rng.jitter(10.0, 0.2)
+            assert 8.0 <= v <= 12.0
+
+    def test_shuffled_is_permutation(self):
+        rng = RandomSource(6).child("sh")
+        seq = list(range(20))
+        out = rng.shuffled(seq)
+        assert sorted(out) == seq
+        assert seq == list(range(20))  # input untouched
+
+    def test_choice_picks_member(self):
+        rng = RandomSource(7).child("c")
+        assert rng.choice(["a", "b"]) in ("a", "b")
+
+    def test_bernoulli_extremes(self):
+        rng = RandomSource(8).child("bn")
+        assert not any(rng.bernoulli(0.0) for _ in range(50))
+        assert all(rng.bernoulli(1.0) for _ in range(50))

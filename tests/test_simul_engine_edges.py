@@ -1,0 +1,163 @@
+"""Edge-case tests for the DES kernel's trickier interactions."""
+
+import pytest
+
+from repro.simul.engine import AllOf, AnyOf, Interrupt, SimulationError, Simulator
+from repro.simul.resources import FairShareResource, Resource, Store
+
+
+class TestPreTriggeredConditions:
+    def test_any_of_with_already_processed_event(self, sim):
+        ev = sim.event()
+        ev.succeed("early")
+        sim.run()
+        assert ev.processed
+        fired = []
+
+        def proc():
+            result = yield sim.any_of([ev, sim.timeout(100.0)])
+            fired.append((sim.now, list(result.values())))
+
+        sim.process(proc())
+        sim.run(until=1.0)
+        assert fired == [(0.0, ["early"])]
+
+    def test_all_of_with_mixed_processed_and_pending(self, sim):
+        done = sim.event()
+        done.succeed(1)
+        sim.run()
+        fired = []
+
+        def proc():
+            yield sim.all_of([done, sim.timeout(2.0)])
+            fired.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert fired == [2.0]
+
+    def test_nested_conditions(self, sim):
+        fired = []
+
+        def proc():
+            inner = sim.all_of([sim.timeout(1.0), sim.timeout(2.0)])
+            yield sim.any_of([inner, sim.timeout(10.0)])
+            fired.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert fired == [2.0]
+
+
+class TestInterruptInteractions:
+    def test_interrupt_while_waiting_on_resource(self, sim):
+        """An interrupted waiter's request must be cancellable without
+        corrupting the grant queue."""
+        res = Resource(sim, capacity=1)
+        holder = res.request()
+        outcome = []
+
+        def waiter():
+            req = res.request()
+            try:
+                yield req
+            except Interrupt:
+                res.release(req)  # cancel the queued request
+                outcome.append("cancelled")
+
+        p = sim.process(waiter())
+
+        def interrupter():
+            yield sim.timeout(1.0)
+            p.interrupt()
+
+        sim.process(interrupter())
+        sim.run()
+        assert outcome == ["cancelled"]
+        assert res.queue_length == 0
+        res.release(holder)
+        assert res.available == 1
+
+    def test_interrupt_then_continue_waiting(self, sim):
+        marks = []
+
+        def sleeper():
+            try:
+                yield sim.timeout(100.0)
+            except Interrupt:
+                marks.append(("interrupted", sim.now))
+            yield sim.timeout(2.0)
+            marks.append(("resumed", sim.now))
+
+        p = sim.process(sleeper())
+        sim.call_at(5.0, lambda: p.interrupt())
+        sim.run()
+        assert marks == [("interrupted", 5.0), ("resumed", 7.0)]
+
+    def test_double_interrupt_is_safe(self, sim):
+        hits = []
+
+        def sleeper():
+            for _ in range(2):
+                try:
+                    yield sim.timeout(100.0)
+                except Interrupt:
+                    hits.append(sim.now)
+
+        p = sim.process(sleeper())
+        sim.call_at(1.0, lambda: p.interrupt())
+        sim.call_at(2.0, lambda: p.interrupt())
+        sim.run()
+        assert hits == [1.0, 2.0]
+
+
+class TestFairShareEdges:
+    def test_submit_during_active_service(self, sim):
+        """Joining mid-flight slows the incumbent proportionally."""
+        res = FairShareResource(sim, 100.0)
+        first = res.submit(100.0)
+
+        def latecomer():
+            yield sim.timeout(0.5)
+            res.submit(1000.0, demand=100.0)
+
+        sim.process(latecomer())
+        while not first.triggered:
+            sim.step()
+        # 50 units alone (0.5s), then 50 units at half rate (1.0s).
+        assert first.value == pytest.approx(1.5)
+
+    def test_estimated_rate_accounts_for_load(self, sim):
+        res = FairShareResource(sim, 100.0)
+        assert res.estimated_rate() == pytest.approx(100.0)
+        res.submit(1e6, demand=100.0)
+        assert res.estimated_rate(demand=100.0) == pytest.approx(50.0)
+
+    def test_utilization_caps_at_one(self, sim):
+        res = FairShareResource(sim, 10.0)
+        res.submit(1e6, demand=100.0)
+        assert res.utilization() == 1.0
+
+
+class TestStoreEdges:
+    def test_get_event_reusable_pattern(self, sim):
+        """Sequential gets deliver items in order across producers."""
+        store = Store(sim)
+        received = []
+
+        def consumer():
+            for _ in range(4):
+                item = yield store.get()
+                received.append(item)
+
+        sim.process(consumer())
+
+        def producer(offset, items):
+            yield sim.timeout(offset)
+            for item in items:
+                store.put(item)
+
+        sim.process(producer(1.0, ["a", "b"]))
+        sim.process(producer(2.0, ["c", "d"]))
+        sim.run()
+        assert received == ["a", "b", "c", "d"]

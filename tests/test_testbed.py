@@ -1,0 +1,52 @@
+"""Tests for the assembled testbed."""
+
+import pytest
+
+from repro.params import SimulationParams
+from repro.simul.engine import SimulationError
+from repro.testbed import Testbed
+from tests.conftest import make_query_app
+
+
+class TestAssembly:
+    def test_one_nm_per_node(self, bed):
+        assert len(bed.rm.node_managers) == len(bed.cluster)
+
+    def test_distributed_scheduling_flag(self):
+        plain = Testbed(params=SimulationParams(num_nodes=2), seed=0)
+        assert plain.rm.opportunistic is None
+        dist = Testbed(
+            params=SimulationParams(num_nodes=2), seed=0, distributed_scheduling=True
+        )
+        assert dist.rm.opportunistic is not None
+
+    def test_default_params(self):
+        bed = Testbed(seed=0)
+        assert bed.params.num_nodes == 25
+
+
+class TestRunControl:
+    def test_run_until_all_finished_returns_makespan(self, bed):
+        app = make_query_app("q", query=6)
+        bed.submit(app)
+        makespan = bed.run_until_all_finished(limit=5000)
+        assert makespan == pytest.approx(app.finished.value)
+
+    def test_no_apps_is_noop(self, bed):
+        assert bed.run_until_all_finished() == 0.0
+
+    def test_limit_guards_deadlock(self, bed):
+        app = make_query_app("q", query=1, opportunistic=True)
+        bed.submit(app)  # opportunistic w/o distributed scheduler: stuck
+        with pytest.raises(SimulationError):
+            bed.run_until_all_finished(limit=50)
+
+    def test_dump_logs_writes_files(self, tmp_path, bed):
+        app = make_query_app("q", query=6)
+        bed.submit(app)
+        bed.run_until_all_finished(limit=5000)
+        paths = bed.dump_logs(tmp_path)
+        names = {p.name for p in paths}
+        assert "hadoop-resourcemanager.log" in names
+        assert any(n.startswith("hadoop-nodemanager-") for n in names)
+        assert any(n.startswith("container_") for n in names)

@@ -1,0 +1,189 @@
+"""Tests for workload models and the trace generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.params import GB, MB, SimulationParams
+from repro.simul.distributions import RandomSource
+from repro.workloads.google_trace import google_trace_arrivals, tpch_query_mix
+from repro.workloads.kmeans import KmeansWorkload
+from repro.workloads.tpch import TPCH_QUERIES, TPCH_TABLES, TPCHDataset, TPCHQueryWorkload
+from repro.workloads.wordcount import WordCountWorkload
+
+
+class _FakeServices:
+    """Just enough surface for workload.prepare/build_stages."""
+
+    def __init__(self, params=None, seed=0):
+        from repro.cluster.topology import Cluster
+        from repro.hdfs.filesystem import Hdfs
+        from repro.simul.engine import Simulator
+
+        self.params = params or SimulationParams(num_nodes=5)
+        self.sim = Simulator()
+        self.cluster = Cluster(self.sim, self.params)
+        self.hdfs = Hdfs(self.sim, self.cluster, self.params, RandomSource(seed))
+
+
+class _FakeApp:
+    num_executors = 4
+
+    def executor_spec(self, params):
+        from repro.yarn.records import ResourceSpec
+
+        return ResourceSpec(params.executor_memory_mb, params.executor_vcores)
+
+    def task_threads_per_executor(self):
+        return 8
+
+
+class TestTPCH:
+    def test_table_fractions_sum_to_one(self):
+        assert sum(TPCH_TABLES.values()) == pytest.approx(1.0, abs=0.02)
+
+    def test_all_22_queries_defined(self):
+        assert sorted(TPCH_QUERIES) == list(range(1, 23))
+
+    def test_query_templates_reference_real_tables(self):
+        for template in TPCH_QUERIES.values():
+            for table in template.scan_tables:
+                assert table in TPCH_TABLES
+
+    def test_dataset_prepare_idempotent(self):
+        services = _FakeServices()
+        ds = TPCHDataset(2 * GB)
+        ds.prepare(services)
+        ds.prepare(services)  # no duplicate registration error
+        assert len(ds.tables) == 8
+
+    def test_lineitem_is_biggest(self):
+        services = _FakeServices()
+        ds = TPCHDataset(2 * GB)
+        ds.prepare(services)
+        sizes = {t: f.size_bytes for t, f in ds.tables.items()}
+        assert max(sizes, key=sizes.get) == "lineitem"
+
+    def test_input_files_are_eight_tables(self):
+        services = _FakeServices()
+        wl = TPCHQueryWorkload(TPCHDataset(2 * GB), query=5)
+        wl.prepare(services)
+        assert len(wl.input_files) == 8
+
+    def test_opened_files_multiplier(self):
+        services = _FakeServices()
+        wl = TPCHQueryWorkload(TPCHDataset(2 * GB), query=5, opened_files_multiplier=3)
+        wl.prepare(services)
+        assert len(wl.input_files) == 24
+
+    def test_stage_structure(self):
+        services = _FakeServices()
+        wl = TPCHQueryWorkload(TPCHDataset(2 * GB), query=9)
+        wl.prepare(services)
+        stages = wl.build_stages(services, _FakeApp())
+        assert len(stages) == TPCH_QUERIES[9].stages
+        assert stages[0].input_file is not None  # scan reads HDFS
+        assert all(s.input_file is None for s in stages[1:])  # shuffles don't
+
+    def test_scan_tasks_scale_with_input(self):
+        services = _FakeServices()
+        small = TPCHQueryWorkload(TPCHDataset(100 * MB, name="s"), query=1)
+        big = TPCHQueryWorkload(TPCHDataset(50 * GB, name="b"), query=1)
+        small.prepare(services)
+        big.prepare(services)
+        n_small = small.build_stages(services, _FakeApp())[0].n_tasks
+        n_big = big.build_stages(services, _FakeApp())[0].n_tasks
+        assert n_big > n_small
+        assert n_small >= services.params.min_scan_tasks
+
+    def test_invalid_query_rejected(self):
+        with pytest.raises(ValueError):
+            TPCHQueryWorkload(TPCHDataset(1 * GB), query=23)
+
+    def test_invalid_dataset_size(self):
+        with pytest.raises(ValueError):
+            TPCHDataset(0)
+
+
+class TestWordCount:
+    def test_single_input_file(self):
+        services = _FakeServices()
+        wl = WordCountWorkload(2 * GB)
+        wl.prepare(services)
+        assert len(wl.input_files) == 1
+
+    def test_two_stages(self):
+        services = _FakeServices()
+        wl = WordCountWorkload(2 * GB)
+        wl.prepare(services)
+        stages = wl.build_stages(services, _FakeApp())
+        assert [s.name for s in stages] == ["wc-map", "wc-reduce"]
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            WordCountWorkload(0)
+
+
+class TestKmeans:
+    def test_iteration_stages_are_pure_cpu(self):
+        services = _FakeServices()
+        wl = KmeansWorkload(iterations=3)
+        wl.prepare(services)
+        stages = wl.build_stages(services, _FakeApp())
+        assert len(stages) == 4  # load + 3 iterations
+        assert all(s.cpu_fraction == 1.0 for s in stages[1:])
+
+    def test_task_fanout_matches_threads(self):
+        services = _FakeServices()
+        wl = KmeansWorkload(iterations=1)
+        wl.prepare(services)
+        stages = wl.build_stages(services, _FakeApp())
+        assert stages[1].n_tasks == 4 * 8
+
+
+class TestGoogleTrace:
+    def test_arrivals_monotone_from_zero(self):
+        rng = RandomSource(1).child("t")
+        times = google_trace_arrivals(100, 2.0, rng)
+        assert times[0] == 0.0
+        assert all(a <= b for a, b in zip(times, times[1:]))
+
+    @settings(max_examples=20, deadline=None)
+    @given(n=st.integers(2, 200), mean=st.floats(0.1, 10.0))
+    def test_arrival_count_and_positivity(self, n, mean):
+        rng = RandomSource(2).child("t")
+        times = google_trace_arrivals(n, mean, rng)
+        assert len(times) == n
+        assert all(t >= 0 for t in times)
+
+    def test_mean_interarrival_near_target(self):
+        rng = RandomSource(3).child("t")
+        times = google_trace_arrivals(3000, 2.0, rng)
+        gaps = np.diff(times)
+        assert np.mean(gaps) == pytest.approx(2.0, rel=0.2)
+
+    def test_burstiness(self):
+        """Google-trace arrivals are bursty: CV well above Poisson's 1."""
+        rng = RandomSource(4).child("t")
+        times = google_trace_arrivals(3000, 2.0, rng)
+        gaps = np.diff(times)
+        cv = np.std(gaps) / np.mean(gaps)
+        assert cv > 1.3
+
+    def test_invalid_args(self):
+        rng = RandomSource(0)
+        with pytest.raises(ValueError):
+            google_trace_arrivals(0, 1.0, rng)
+        with pytest.raises(ValueError):
+            google_trace_arrivals(5, 0.0, rng)
+
+    def test_query_mix_in_range(self):
+        rng = RandomSource(5).child("m")
+        mix = tpch_query_mix(500, rng)
+        assert set(mix) <= set(range(1, 23))
+        assert len(set(mix)) > 10  # actually mixes
+
+    def test_query_mix_restricted_pool(self):
+        rng = RandomSource(6).child("m")
+        mix = tpch_query_mix(50, rng, queries=[1, 6])
+        assert set(mix) <= {1, 6}

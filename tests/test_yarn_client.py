@@ -1,0 +1,91 @@
+"""Tests for the AM-RM client (heartbeats, backoff, misuse guards)."""
+
+import pytest
+
+from repro.core.checker import SDChecker
+from repro.core.events import EventKind
+from repro.mapreduce.application import MapReduceApplication
+from repro.params import SimulationParams
+from repro.simul.engine import SimulationError
+from repro.testbed import Testbed
+from repro.yarn.records import ResourceRequest, ResourceSpec
+from tests.conftest import make_query_app
+
+
+class TestClientGuards:
+    def test_request_before_register_rejected(self, bed):
+        app = make_query_app("q", query=6)
+        bed.submit(app)
+        bed.run(until=0.2)  # app admitted, AM not yet up
+        record = bed.rm.apps[app.app_id]
+        from repro.yarn.app import AMRMClient
+
+        client = AMRMClient(bed.rm, app, 0.2, 3.0)
+        with pytest.raises(SimulationError, match="register"):
+            client.request_containers(ResourceRequest(ResourceSpec(1024, 1), 1))
+
+    def test_double_register_rejected(self, bed):
+        app = make_query_app("q", query=6)
+        bed.submit(app)
+        bed.run_until_all_finished(limit=5000)
+        client = bed.rm.apps[app.app_id].client
+        assert client.registered
+
+        def re_register():
+            yield from client.register()
+
+        bed.sim.process(re_register())
+        with pytest.raises(SimulationError, match="already registered"):
+            bed.run(until=bed.sim.now + 1.0)
+
+
+class TestBackoff:
+    def test_spark_pull_gaps_double_while_starved(self):
+        """Under a full cluster, successive empty pulls back off
+        0.2 -> 0.4 -> ... -> 3.0 (visible as acquisition spacing)."""
+        params = SimulationParams(num_nodes=2)
+        bed = Testbed(params=params, seed=81)
+
+        def hold(app, ctx, index):
+            yield ctx.sim.timeout(30.0)
+
+        capacity = bed.cluster.total_memory_mb() // params.map_container_memory_mb
+        bed.submit(
+            MapReduceApplication("hog", num_maps=int(capacity * 0.99), map_body=hold)
+        )
+        app = make_query_app("q", query=6)
+        bed.submit(app, delay=5.0)
+        bed.run_until_all_finished(limit=5000)
+        # The app eventually got everything despite the starved start.
+        assert app.milestones.get("allocation_complete") is not None
+
+    def test_granted_total_matches_requests(self, single_app_run):
+        bed, app, _report = single_app_run
+        client = bed.rm.apps[app.app_id].client
+        assert client.granted_total == app.num_executors
+        assert client.outstanding == 0
+
+
+class TestGrantRouting:
+    def test_am_grant_never_reaches_client_buffer(self, single_app_run):
+        """The AM container is launched by the RM's AMLauncher, not
+        pulled over the allocate RPC."""
+        _bed, app, report = single_app_run
+        am = next(c for a in report.apps for c in a.containers if c.is_application_master)
+        # AM acquisition is near-instant (no heartbeat wait).
+        assert am.acquisition_delay < 0.2
+
+    def test_released_surplus_logged_rm_side_only(self, opportunistic_run):
+        bed, app, _report = opportunistic_run
+        surplus_ids = {
+            str(g.container_id)
+            for g in app.grants
+            if g.rm_container.state == "RELEASED"
+        }
+        assert len(surplus_ids) == bed.params.spark_overrequest_bug_extra
+        traces = SDChecker().group(bed.log_store)
+        trace = traces[str(app.app_id)]
+        for cid in surplus_ids:
+            ctrace = trace.containers[cid]
+            assert ctrace.time_of(EventKind.CONTAINER_RELEASED) is not None
+            assert ctrace.time_of(EventKind.CONTAINER_LOCALIZING) is None

@@ -1,0 +1,61 @@
+"""Tests for YARN global IDs."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.yarn.ids import ApplicationId, ContainerId, CLUSTER_TIMESTAMP
+
+
+class TestApplicationId:
+    def test_format(self):
+        app = ApplicationId(CLUSTER_TIMESTAMP, 42)
+        assert str(app) == f"application_{CLUSTER_TIMESTAMP}_0042"
+
+    def test_parse_round_trip(self):
+        app = ApplicationId(CLUSTER_TIMESTAMP, 7)
+        assert ApplicationId.parse(str(app)) == app
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            ApplicationId.parse("container_123_0001_01_000001")
+
+    @given(seq=st.integers(min_value=1, max_value=99_999))
+    def test_round_trip_any_sequence(self, seq):
+        app = ApplicationId(CLUSTER_TIMESTAMP, seq)
+        assert ApplicationId.parse(str(app)) == app
+
+    def test_ordering(self):
+        a = ApplicationId(CLUSTER_TIMESTAMP, 1)
+        b = ApplicationId(CLUSTER_TIMESTAMP, 2)
+        assert a < b
+
+
+class TestContainerId:
+    def test_format(self):
+        cid = ApplicationId(CLUSTER_TIMESTAMP, 3).container(7)
+        assert str(cid) == f"container_{CLUSTER_TIMESTAMP}_0003_01_000007"
+
+    def test_parse_round_trip(self):
+        cid = ApplicationId(CLUSTER_TIMESTAMP, 3).container(12)
+        assert ContainerId.parse(str(cid)) == cid
+
+    def test_parse_epoch_variant(self):
+        cid = ContainerId.parse("container_e17_1515715200000_0001_01_000002")
+        assert cid.app_id.app_seq == 1
+        assert cid.container_seq == 2
+
+    def test_am_is_container_one(self):
+        app = ApplicationId(CLUSTER_TIMESTAMP, 1)
+        assert app.container(1).is_application_master
+        assert not app.container(2).is_application_master
+
+    @given(app_seq=st.integers(1, 9999), cseq=st.integers(1, 999_999))
+    def test_round_trip_any(self, app_seq, cseq):
+        cid = ApplicationId(CLUSTER_TIMESTAMP, app_seq).container(cseq)
+        back = ContainerId.parse(str(cid))
+        assert back == cid
+        assert back.app_id.app_seq == app_seq
+
+    def test_attempt_id_format(self):
+        att = ApplicationId(CLUSTER_TIMESTAMP, 5).attempt(1)
+        assert str(att) == f"appattempt_{CLUSTER_TIMESTAMP}_0005_000001"

@@ -1,0 +1,119 @@
+"""Tests for ResourceManager admission and NodeManager lifecycles."""
+
+import pytest
+
+from repro.core.events import EventKind
+from repro.core.checker import SDChecker
+from repro.params import GB, SimulationParams
+from repro.testbed import Testbed
+from tests.conftest import make_query_app
+
+
+class TestApplicationAdmission:
+    def test_rm_app_state_sequence_in_log(self, single_app_run):
+        bed, app, _report = single_app_run
+        lines = bed.log_store.render("hadoop-resourcemanager")
+        app_lines = [l for l in lines if str(app.app_id) in l and "RMAppImpl" in l]
+        states = [l.split(" to ")[1].split(" on")[0] for l in app_lines]
+        assert states == [
+            "NEW_SAVING",
+            "SUBMITTED",
+            "ACCEPTED",
+            "RUNNING",
+            "FINAL_SAVING",
+            "FINISHED",
+        ]
+
+    def test_double_submission_rejected(self, bed):
+        app = make_query_app("q", query=1)
+        bed.submit(app)
+        with pytest.raises(Exception, match="already"):
+            bed.submit(app)
+
+    def test_delayed_submission(self, bed):
+        app = make_query_app("q", query=6)
+        finished = bed.submit(app, delay=10.0)
+        bed.run(until=9.0)
+        assert app.app_id is None  # not yet admitted
+        bed.run_until_all_finished(limit=5000)
+        assert finished.triggered
+
+    def test_am_container_is_seq_one(self, single_app_run):
+        _bed, app, _report = single_app_run
+        am_grants = [g for g in app.grants if g.container_id.is_application_master]
+        assert len(am_grants) == 1
+        assert am_grants[0].container_id.container_seq == 1
+
+
+class TestContainerLifecycle:
+    def test_nm_log_state_sequence(self, single_app_run):
+        bed, app, _report = single_app_run
+        worker = next(g for g in app.grants if not g.container_id.is_application_master)
+        nm_daemon = f"hadoop-nodemanager-{worker.node.hostname}"
+        lines = [
+            l
+            for l in bed.log_store.render(nm_daemon)
+            if str(worker.container_id) in l
+        ]
+        transitions = [l.rsplit("from ", 1)[1] for l in lines]
+        assert transitions == [
+            "NEW to LOCALIZING",
+            "LOCALIZING to SCHEDULED",
+            "SCHEDULED to RUNNING",
+            "RUNNING to EXITED_WITH_SUCCESS",
+            "EXITED_WITH_SUCCESS to DONE",
+        ]
+
+    def test_first_log_coincides_with_nm_running(self, single_app_run):
+        """The instance's first log line and ContainerImpl RUNNING agree
+        to within the 1 ms log precision (section III-B's two views of
+        "launched")."""
+        _bed, _app, report = single_app_run
+        for app_delays in report.apps:
+            for c in app_delays.containers:
+                if c.launching_delay is not None and c.launched_at is not None:
+                    assert c.launching_delay >= 0
+
+    def test_localization_cache_skips_second_download(self):
+        """Two containers of one app on the same node: the second's
+        localization is (almost) free."""
+        params = SimulationParams(num_nodes=1)
+        bed = Testbed(params=params, seed=21)
+        app = make_query_app("q", query=6)
+        bed.submit(app)
+        bed.run_until_all_finished(limit=5000)
+        report = SDChecker().analyze(bed.log_store)
+        locs = sorted(
+            c.localization_delay
+            for a in report.apps
+            for c in a.containers
+            if c.localization_delay is not None
+        )
+        # First download is bandwidth-bound; cache hits are ~setup only.
+        assert locs[0] < 0.5
+        assert locs[-1] > locs[0]
+
+    def test_docker_adds_launch_overhead(self):
+        def launch_p50(docker):
+            bed = Testbed(params=SimulationParams(num_nodes=5), seed=33)
+            app = make_query_app("q", query=6, docker=docker)
+            bed.submit(app)
+            bed.run_until_all_finished(limit=5000)
+            report = SDChecker().analyze(bed.log_store)
+            return report.container_sample("launching", workers_only=False).p50
+
+        assert launch_p50(True) > launch_p50(False) + 0.15
+
+    def test_vcores_oversubscription_allowed_memory_only(self):
+        """With the default memory-only calculator, 16-vcore executors
+        pack beyond the physical cores (the Kmeans setup)."""
+        params = SimulationParams(num_nodes=1)
+        bed = Testbed(params=params, seed=4)
+        from repro.workloads.kmeans import make_kmeans_app
+
+        app = make_kmeans_app("km", params, iterations=1)
+        bed.submit(app)
+        bed.run_until_all_finished(limit=5000)
+        node = bed.cluster.nodes[0]
+        # 4 executors x 16 vcores = 64 > 32 cores were reserved at peak.
+        assert app.milestones["job_done"] > 0

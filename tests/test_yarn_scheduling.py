@@ -1,0 +1,139 @@
+"""Tests for the two schedulers and the allocation/acquisition path."""
+
+import pytest
+
+from repro.core.checker import SDChecker
+from repro.core.events import EventKind
+from repro.mapreduce.application import MapReduceApplication
+from repro.params import SimulationParams
+from repro.testbed import Testbed
+from tests.conftest import make_query_app
+
+
+class TestCapacityScheduler:
+    def test_all_guaranteed_containers_reserve_memory(self, bed):
+        app = make_query_app("q", query=1)
+        bed.submit(app)
+        bed.run(until=20.0)
+        # AM + 4 executors reserved somewhere.
+        used = bed.cluster.used_memory_mb()
+        params = bed.params
+        assert used >= params.am_memory_mb + 4 * params.executor_memory_mb
+
+    def test_memory_is_returned_at_completion(self, bed):
+        app = make_query_app("q", query=6)
+        bed.submit(app)
+        bed.run_until_all_finished(limit=5000)
+        # The AM container's NM-side cleanup completes just after the
+        # app reaches FINISHED (as in YARN); give it a beat.
+        bed.run(until=bed.sim.now + 5.0)
+        assert bed.cluster.used_memory_mb() == 0
+
+    def test_allocation_throughput_is_batch(self):
+        """A big MR burst allocates hundreds of containers per second.
+
+        Node updates drive batching, so the paper-sized 25-node cluster
+        is used (25 scheduling opportunities per second).
+        """
+        bed = Testbed(seed=3)
+        bed.submit(MapReduceApplication("burst", num_maps=600))
+        bed.run(until=30.0)
+        times = bed.rm.allocation_times
+        assert len(times) >= 600
+        span = max(times) - min(times)
+        assert (len(times) - 1) / span > 100.0
+
+    def test_fairness_prefers_smaller_app(self):
+        """A late-arriving small app is not starved behind a huge one."""
+        bed = Testbed(params=SimulationParams(num_nodes=5), seed=3)
+        big = MapReduceApplication("big", num_maps=500)
+        bed.submit(big)
+        small = make_query_app("small", query=6)
+        bed.submit(small, delay=5.0)
+        bed.run_until_all_finished(limit=5000)
+        # The small app must have all containers allocated well before
+        # the big job's tail.
+        assert small.milestones["allocation_complete"] < big.milestones["job_done"]
+
+    def test_pending_containers_counter(self, bed):
+        app = make_query_app("q", query=1)
+        bed.submit(app)
+        bed.run(until=0.2)
+        # AM request registered with the scheduler at admission.
+        assert bed.rm.scheduler.pending_containers() >= 0
+
+
+class TestOpportunisticScheduler:
+    def test_grants_inside_the_allocate_rpc(self):
+        bed = Testbed(
+            params=SimulationParams(num_nodes=5), seed=5, distributed_scheduling=True
+        )
+        app = make_query_app("q", query=1, opportunistic=True)
+        bed.submit(app)
+        bed.run_until_all_finished(limit=5000)
+        # Aggregated allocation delay (START_ALLO..END_ALLO) is tens of
+        # milliseconds — no node-update or heartbeat wait.
+        report = SDChecker().analyze(bed.log_store)
+        alloc = report.sample("allocation_delay")
+        assert alloc.p95 < 0.3
+
+    def test_requires_distributed_scheduling_enabled(self, bed):
+        app = make_query_app("q", query=1, opportunistic=True)
+        bed.submit(app)
+        with pytest.raises(Exception, match="opportunistic"):
+            bed.run_until_all_finished(limit=5000)
+
+    def test_overrequest_bug_containers_released(self):
+        bed = Testbed(
+            params=SimulationParams(num_nodes=5), seed=5, distributed_scheduling=True
+        )
+        app = make_query_app("q", query=1, opportunistic=True)
+        bed.submit(app)
+        bed.run_until_all_finished(limit=5000)
+        extra = bed.params.spark_overrequest_bug_extra
+        released = [
+            g for g in app.grants if g.rm_container.state == "RELEASED"
+        ]
+        assert len(released) == extra
+
+    def test_queueing_when_nodes_busy(self):
+        """Opportunistic containers queue at a busy NM (Fig 7b)."""
+        params = SimulationParams(num_nodes=3)
+        bed = Testbed(params=params, seed=5, distributed_scheduling=True)
+        # Pin nearly all memory with long maps.
+        capacity = bed.cluster.total_memory_mb() // params.map_container_memory_mb
+
+        def long_map(app, ctx, index):
+            yield ctx.sim.timeout(60.0)
+
+        bed.submit(
+            MapReduceApplication("hog", num_maps=int(capacity * 0.99), map_body=long_map)
+        )
+        app = make_query_app("q", query=6, opportunistic=True)
+        bed.submit(app, delay=20.0)
+        bed.run_until_all_finished(limit=5000)
+        report = SDChecker().analyze(bed.log_store)
+        launching = report.container_sample("launching")
+        # At least one executor container waited tens of seconds in the
+        # NM queue (SCHEDULED state) behind the hog maps.
+        assert launching.max() > 10.0
+
+
+class TestAcquisitionDelay:
+    def test_mapreduce_acquisition_capped_by_heartbeat(self):
+        """Fig 7c: ALLOCATED -> ACQUIRED bounded by the 1 s MR beat."""
+        bed = Testbed(params=SimulationParams(num_nodes=5), seed=9)
+        bed.submit(MapReduceApplication("wc", num_maps=60))
+        bed.run_until_all_finished(limit=5000)
+        report = SDChecker().analyze(bed.log_store)
+        acq = report.container_sample("acquisition")
+        assert len(acq) >= 60
+        assert acq.max() <= bed.params.mr_am_heartbeat_s + 0.1
+        assert acq.std() > 0.05  # "very high variances"
+
+    def test_spark_acquisition_bounded_by_backoff(self, single_app_run):
+        """Spark pulls back off 0.2 -> 3 s while waiting; acquisition is
+        bounded by the largest pull gap."""
+        _bed, _app, report = single_app_run
+        acq = report.container_sample("acquisition")
+        assert acq.max() <= 3.0 + 0.1
