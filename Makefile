@@ -3,7 +3,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-paper examples lint-quick clean
+.PHONY: install test bench bench-paper examples lint clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -24,9 +24,14 @@ examples:
 	$(PYTHON) examples/interference_study.py --queries 25
 	$(PYTHON) examples/offline_analysis.py --queries 12
 
-lint-quick:
+# sdlint: catalog coverage, state-machine structure, determinism.
+# Findings above the checked-in sdlint.baseline fail the build.
+lint:
 	$(PYTHON) -m compileall -q src tests benchmarks examples
+	PYTHONPATH=src $(PYTHON) -m repro.analysis
 
+# Caches only — benchmarks/results and src/repro.egg-info are committed
+# and must survive a clean.
 clean:
-	rm -rf .pytest_cache .hypothesis benchmarks/results src/repro.egg-info
+	rm -rf .pytest_cache .hypothesis .benchmarks
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,53 @@
+"""sdlint — static contract checking for the SDchecker reproduction.
+
+SDchecker's correctness rests on an implicit contract between two sides
+that share no code: the simulator's log emitters (log4j templates in
+``repro.logsys`` users, the ``TEMPLATE``/``TRANSITIONS`` tables of
+``repro.yarn.state_machine``, the driver/executor messages of
+``repro.spark`` and ``repro.mapreduce``) must render lines that the
+Table I regexes in ``repro.core.messages`` match *unambiguously*.  A
+one-word template drift silently drops a delay component from every
+report — end-to-end runs are the only thing that would notice, and only
+if someone stares at the numbers.
+
+This package machine-checks the contract with three static passes:
+
+* **catalog cross-check** (:mod:`repro.analysis.catalog`, rules SD1xx)
+  — AST-extract every emission template, synthesize representative
+  rendered lines, and verify each delay-relevant emission is matched by
+  exactly one Table I classifier (coverage, ambiguity, and global-ID
+  round-trip).
+* **state-machine analysis** (:mod:`repro.analysis.statemachines`,
+  rules SD2xx) — transition-graph checks over the ``TRANSITIONS``
+  tables: unreachable states, dead transitions, missing terminal
+  states, and transitions invisible to SDchecker.
+* **determinism lint** (:mod:`repro.analysis.determinism`, rules
+  SD3xx) — AST walk flagging unseeded ``random``/``np.random`` calls
+  that bypass :class:`repro.simul.distributions.RandomSource`,
+  wall-clock reads, and iteration over unordered sets.
+
+Run it as ``python -m repro.analysis`` (see :mod:`repro.analysis.cli`);
+known-accepted findings live in the checked-in ``sdlint.baseline``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.findings import Finding, RULES, sort_findings
+
+__all__ = ["Finding", "RULES", "run_all", "sort_findings"]
+
+
+def run_all(root: Optional[Path] = None) -> List[Finding]:
+    """Run all three passes over ``root`` (the directory holding ``repro``)."""
+    from repro.analysis import catalog, determinism, statemachines
+    from repro.analysis.cli import default_root
+
+    root = Path(root) if root is not None else default_root()
+    findings: List[Finding] = []
+    findings.extend(catalog.run(root))
+    findings.extend(statemachines.run(root))
+    findings.extend(determinism.run(root))
+    return sort_findings(findings)

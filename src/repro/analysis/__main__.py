@@ -1,0 +1,8 @@
+"""Entry point so ``python -m repro.analysis`` runs the sdlint CLI."""
+
+import sys
+
+from repro.analysis.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""Baseline (suppression) file handling for sdlint.
+
+The baseline is a checked-in text file of finding *keys* — one per line,
+``#`` comments allowed.  A key is ``"<rule> <path> <message>"`` with the
+line number deliberately omitted (see
+:class:`repro.analysis.findings.Finding`), so routine edits that shift a
+file do not invalidate it.  Findings whose key appears in the baseline
+are accepted deviations: reported in ``--json`` as suppressed but not
+counted toward the exit status.  Regenerate with ``--write-baseline``
+after a reviewed change.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Sequence, Set, Tuple
+
+from repro.analysis.findings import Finding
+
+__all__ = ["load_baseline", "partition", "write_baseline"]
+
+_HEADER = """\
+# sdlint baseline — accepted findings, one key per line.
+# Key format: "<rule> <path> <message>"; line numbers are intentionally
+# omitted so unrelated edits do not invalidate entries.
+# Regenerate with: PYTHONPATH=src python -m repro.analysis --write-baseline
+"""
+
+
+def load_baseline(path: Path) -> Set[str]:
+    """The set of suppressed finding keys (empty if the file is absent)."""
+    path = Path(path)
+    if not path.is_file():
+        return set()
+    keys: Set[str] = set()
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if line and not line.startswith("#"):
+            keys.add(line)
+    return keys
+
+
+def write_baseline(path: Path, findings: Iterable[Finding]) -> int:
+    """Write every finding's key to ``path``; returns the entry count."""
+    keys = sorted({finding.key for finding in findings})
+    Path(path).write_text(_HEADER + "".join(key + "\n" for key in keys))
+    return len(keys)
+
+
+def partition(
+    findings: Sequence[Finding], baseline: Set[str]
+) -> Tuple[List[Finding], List[Finding], List[str]]:
+    """Split into (active, suppressed, unused-baseline-keys)."""
+    active = [f for f in findings if f.key not in baseline]
+    suppressed = [f for f in findings if f.key in baseline]
+    used = {f.key for f in suppressed}
+    unused = sorted(baseline - used)
+    return active, suppressed, unused

@@ -1,0 +1,177 @@
+"""Pass 3 — determinism lint (rules SD301-SD303).
+
+The simulator's reproducibility guarantee is that one (seed, scenario)
+pair always yields byte-identical logs.  Three source patterns break it:
+
+* **SD301 unseeded-random** — calls into ``random`` or
+  ``numpy.random`` that bypass the named, seeded substreams of
+  :class:`repro.simul.distributions.RandomSource` (the one sanctioned
+  wrapper, which is itself exempt);
+* **SD302 wall-clock** — ``time.time()``/``datetime.now()`` and
+  friends: simulated time must come from the engine clock, never the
+  host;
+* **SD303 unordered-iteration** — ``for`` loops (or comprehensions)
+  driven directly by a ``set``/``frozenset`` expression, whose
+  iteration order varies across processes when elements are
+  hash-randomized — enough to reorder event scheduling.
+
+Everything is a pure AST walk; nothing is imported or executed.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.analysis.extract import iter_source_files
+from repro.analysis.findings import Finding, make_finding
+
+__all__ = ["ALLOWED_PATHS", "run", "scan_source", "scan_tree"]
+
+#: Files exempt from SD301: the sanctioned RNG wrapper itself.
+ALLOWED_PATHS = frozenset({"repro/simul/distributions.py"})
+
+#: Canonical dotted names that read the host clock.
+_WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+class _ModuleNames:
+    """Resolves local names back to canonical module-dotted paths."""
+
+    def __init__(self, tree: ast.Module):
+        #: local alias -> canonical module path ("np" -> "numpy").
+        self.modules: Dict[str, str] = {}
+        #: local name -> canonical dotted path ("now" -> "datetime.datetime.now").
+        self.names: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.modules[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name if alias.asname else alias.name.split(".")[0]
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                for alias in node.names:
+                    self.names[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+
+    def canonical_call(self, func: ast.expr) -> Optional[str]:
+        """Dotted canonical path of a call target, if resolvable."""
+        parts: List[str] = []
+        node = func
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        parts.reverse()
+        root = node.id
+        if root in self.modules:
+            return ".".join([self.modules[root]] + parts)
+        if root in self.names:
+            return ".".join([self.names[root]] + parts)
+        return None
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in {"set", "frozenset"}
+    )
+
+
+def scan_source(source: str, path: str) -> List[Finding]:
+    """All SD3xx findings in one module's source text."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError:
+        return []
+    names = _ModuleNames(tree)
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            canonical = names.canonical_call(node.func)
+            if canonical is None:
+                continue
+            if (
+                canonical.startswith("random.")
+                or canonical.startswith("numpy.random.")
+            ) and path not in ALLOWED_PATHS:
+                findings.append(
+                    make_finding(
+                        "SD301",
+                        path,
+                        node.lineno,
+                        f"call to {canonical}() bypasses the seeded "
+                        f"repro.simul.distributions.RandomSource streams",
+                    )
+                )
+            elif canonical in _WALL_CLOCK_CALLS:
+                findings.append(
+                    make_finding(
+                        "SD302",
+                        path,
+                        node.lineno,
+                        f"call to {canonical}() reads the host wall clock; "
+                        f"use the simulation clock instead",
+                    )
+                )
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            if _is_set_expr(node.iter):
+                findings.append(
+                    make_finding(
+                        "SD303",
+                        path,
+                        node.lineno,
+                        "iteration over an unordered set expression; sort "
+                        "it to keep event ordering deterministic",
+                    )
+                )
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            for generator in node.generators:
+                if _is_set_expr(generator.iter):
+                    findings.append(
+                        make_finding(
+                            "SD303",
+                            path,
+                            node.lineno,
+                            "comprehension over an unordered set expression; "
+                            "sort it to keep event ordering deterministic",
+                        )
+                    )
+    return findings
+
+
+def scan_tree(root: Path) -> List[Finding]:
+    """SD3xx findings for every source file under ``root``."""
+    root = Path(root)
+    findings: List[Finding] = []
+    for path in iter_source_files(root):
+        try:
+            rel = path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            rel = path.as_posix()
+        findings.extend(scan_source(path.read_text(), rel))
+    return findings
+
+
+def run(root: Path) -> List[Finding]:
+    """The determinism pass entry point used by the CLI."""
+    return scan_tree(root)

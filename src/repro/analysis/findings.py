@@ -1,0 +1,81 @@
+"""The unified finding model shared by all sdlint passes.
+
+Each finding carries a stable rule ID (``SD101`` ...), a severity, a
+source location, and a human message.  The *baseline key* deliberately
+omits the line number so that unrelated edits shifting a file do not
+invalidate the checked-in baseline; a finding is "the same" as long as
+its rule, file, and message are unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+__all__ = ["Finding", "RULES", "make_finding", "sort_findings"]
+
+#: rule ID -> (severity, short slug).  The SD1xx block is the catalog
+#: cross-check, SD2xx the state-machine analysis, SD3xx the determinism
+#: lint — mirroring the three passes.
+RULES: Dict[str, Tuple[str, str]] = {
+    "SD101": ("error", "uncovered-emission"),
+    "SD102": ("error", "ambiguous-emission"),
+    "SD103": ("error", "unmatched-classifier"),
+    "SD104": ("error", "id-roundtrip-failure"),
+    "SD201": ("error", "unreachable-state"),
+    "SD202": ("warning", "dead-transition"),
+    "SD203": ("warning", "no-terminal-state"),
+    "SD204": ("info", "invisible-transition"),
+    "SD301": ("error", "unseeded-random"),
+    "SD302": ("error", "wall-clock"),
+    "SD303": ("warning", "unordered-iteration"),
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One contract violation (or accepted deviation) at a location."""
+
+    rule: str
+    severity: str
+    #: POSIX path relative to the scan root (stable across checkouts).
+    path: str
+    line: int
+    message: str
+
+    @property
+    def slug(self) -> str:
+        """The rule's short name, e.g. ``uncovered-emission``."""
+        return RULES.get(self.rule, ("", "unknown"))[1]
+
+    @property
+    def key(self) -> str:
+        """Line-number-free identity used for baseline matching."""
+        return f"{self.rule} {self.path} {self.message}"
+
+    def render(self) -> str:
+        """One human-readable report line."""
+        return f"{self.path}:{self.line}: {self.rule} {self.severity}: {self.message}"
+
+    def to_json(self) -> dict:
+        """JSON-serializable representation for ``--json`` output."""
+        return {
+            "rule": self.rule,
+            "slug": self.slug,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+
+
+def make_finding(rule: str, path: str, line: int, message: str) -> Finding:
+    """Build a :class:`Finding`, deriving the severity from :data:`RULES`."""
+    if rule not in RULES:
+        raise ValueError(f"unknown sdlint rule {rule!r}")
+    return Finding(rule, RULES[rule][0], path, line, message)
+
+
+def sort_findings(findings: Iterable[Finding]) -> List[Finding]:
+    """Deterministic report order: by file, line, rule, message."""
+    return sorted(findings, key=lambda f: (f.path, f.line, f.rule, f.message))

@@ -11,7 +11,7 @@ SDCHECKER marker lines the paper adds to Spark's YarnAllocator
 from __future__ import annotations
 
 import re
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.core.events import EventKind
 
@@ -19,18 +19,23 @@ __all__ = [
     "APP_ID_RE",
     "CONTAINER_ID_RE",
     "app_id_of_container",
+    "catalog_states",
     "classify_rm_app_line",
     "classify_rm_container_line",
     "classify_nm_container_line",
     "classify_driver_line",
     "classify_first_task_line",
+    "classify_mr_task_done_line",
     "instance_type_of_class",
 ]
 
 #: Global-ID shapes (section III-C: "we group these workflows based on
 #: their global IDs, such as application ID and container IDs").
 APP_ID_RE = re.compile(r"application_\d+_\d{4,}")
-CONTAINER_ID_RE = re.compile(r"container_(?:e\d+_)?(\d+)_(\d{4,})_\d\d_\d{6}")
+#: The attempt-id segment is at least two digits: Hadoop renders it
+#: %02d, so attempt 100 of a long-running recurring app widens the
+#: field rather than truncating it (the §V-B JVM-reuse scenario).
+CONTAINER_ID_RE = re.compile(r"container_(?:e\d+_)?(\d+)_(\d{4,})_\d{2,}_\d{6}")
 
 _RMAPP_RE = re.compile(
     r"^(?P<app>application_\d+_\d{4,}) State change from "
@@ -87,6 +92,21 @@ _INSTANCE_CLASSES = (
     ("mapreduce.v2.app.MRAppMaster", "mrm"),
     ("hadoop.mapred.YarnChild", "mrs"),  # map/reduce child; refined by caller
 )
+
+
+def catalog_states() -> Dict[str, Dict[str, EventKind]]:
+    """The delay-relevant new-state tables, keyed by state-machine class.
+
+    This is the checker side of the simulator/checker contract that
+    ``repro.analysis`` (sdlint) cross-checks statically: a transition
+    entering one of these states must render a line matched by exactly
+    one classifier above.
+    """
+    return {
+        "RMAppImpl": dict(_RMAPP_STATES),
+        "RMContainerImpl": dict(_RMCONTAINER_STATES),
+        "ContainerImpl": dict(_NMCONTAINER_STATES),
+    }
 
 
 def app_id_of_container(container_id: str) -> Optional[str]:

@@ -24,7 +24,10 @@ __all__ = ["ApplicationId", "ApplicationAttemptId", "ContainerId", "CLUSTER_TIME
 CLUSTER_TIMESTAMP = 1515715200000
 
 _APP_RE = re.compile(r"^application_(\d+)_(\d{4,})$")
-_CONTAINER_RE = re.compile(r"^container_(?:e\d+_)?(\d+)_(\d{4,})_(\d\d)_(\d{6})$")
+#: Attempt ids render %02d but widen past 99 (recurring apps), so the
+#: segment is "two or more digits" — kept in sync with CONTAINER_ID_RE
+#: in repro.core.messages.
+_CONTAINER_RE = re.compile(r"^container_(?:e\d+_)?(\d+)_(\d{4,})_(\d{2,})_(\d{6})$")
 
 
 @dataclass(frozen=True, slots=True, order=True)

@@ -1,0 +1,71 @@
+"""Tests for sdlint pass 3: the determinism lint (SD301-SD303)."""
+
+from pathlib import Path
+
+from repro.analysis import determinism
+
+SRC_ROOT = Path(__file__).resolve().parents[1] / "src"
+
+
+def rules_of(source: str, path: str = "repro/fake.py"):
+    return [f.rule for f in determinism.scan_source(source, path)]
+
+
+class TestUnseededRandom:
+    def test_stdlib_random_call(self):
+        assert rules_of("import random\nx = random.random()\n") == ["SD301"]
+
+    def test_numpy_random_via_alias(self):
+        assert rules_of("import numpy as np\nx = np.random.rand(3)\n") == ["SD301"]
+
+    def test_from_import(self):
+        assert rules_of("from random import shuffle\nshuffle([1, 2])\n") == ["SD301"]
+
+    def test_distributions_module_is_exempt(self):
+        source = "import numpy as np\nrng = np.random.default_rng(0)\n"
+        assert rules_of(source, "repro/simul/distributions.py") == []
+        assert rules_of(source) == ["SD301"]
+
+    def test_unrelated_module_attribute_ok(self):
+        assert rules_of("import math\nx = math.sqrt(2)\n") == []
+
+
+class TestWallClock:
+    def test_time_time(self):
+        assert rules_of("import time\nt = time.time()\n") == ["SD302"]
+
+    def test_perf_counter(self):
+        assert rules_of("import time\nt = time.perf_counter()\n") == ["SD302"]
+
+    def test_datetime_now_from_import(self):
+        source = "from datetime import datetime\nt = datetime.now()\n"
+        assert rules_of(source) == ["SD302"]
+
+    def test_datetime_module_form(self):
+        source = "import datetime\nt = datetime.datetime.utcnow()\n"
+        assert rules_of(source) == ["SD302"]
+
+
+class TestUnorderedIteration:
+    def test_for_over_set_literal(self):
+        assert rules_of("for x in {1, 2, 3}:\n    print(x)\n") == ["SD303"]
+
+    def test_for_over_set_call(self):
+        assert rules_of("for x in set(items):\n    print(x)\n") == ["SD303"]
+
+    def test_comprehension_over_set(self):
+        assert rules_of("out = [x for x in set(items)]\n") == ["SD303"]
+
+    def test_sorted_set_is_fine(self):
+        assert rules_of("for x in sorted(set(items)):\n    print(x)\n") == []
+
+    def test_list_iteration_is_fine(self):
+        assert rules_of("for x in [1, 2]:\n    print(x)\n") == []
+
+
+class TestPristineTree:
+    def test_simulator_source_is_deterministic(self):
+        assert determinism.run(SRC_ROOT) == []
+
+    def test_syntax_errors_are_skipped(self):
+        assert determinism.scan_source("def broken(:\n", "x.py") == []

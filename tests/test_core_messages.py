@@ -143,6 +143,88 @@ class TestIdHelpers:
     def test_non_container_returns_none(self):
         assert msg.app_id_of_container("application_1_0001") is None
 
+    @pytest.mark.parametrize("attempt", ["100", "117", "1024"])
+    def test_wide_attempt_ids_group_correctly(self, attempt):
+        # Attempt ids render %02d but widen past 99 (long-running
+        # recurring apps, the §V-B JVM-reuse scenario): grouping must
+        # not silently drop those containers.
+        assert (
+            msg.app_id_of_container(f"container_1515715200000_0042_{attempt}_000003")
+            == "application_1515715200000_0042"
+        )
+
+    def test_wide_attempt_id_in_rm_line(self):
+        kind, cid = msg.classify_rm_container_line(
+            "container_1515715200000_0042_117_000002 Container Transitioned "
+            "from NEW to ALLOCATED"
+        )
+        assert kind is EventKind.CONTAINER_ALLOCATED
+        assert msg.app_id_of_container(cid) == "application_1515715200000_0042"
+
+    def test_single_digit_attempt_still_rejected(self):
+        assert msg.app_id_of_container("container_1515715200000_0042_1_000003") is None
+
+
+class TestAmbiguityFixtures:
+    """Edge-case lines locked in as fixtures; sdlint pass 1 (SD102)
+    checks the same probes, so a catalog change that makes any of them
+    ambiguous fails both here and in ``python -m repro.analysis``."""
+
+    def test_every_probe_matches_at_most_one_classifier(self):
+        from repro.analysis.catalog import AMBIGUITY_PROBES, matching_classifiers
+
+        for probe in AMBIGUITY_PROBES:
+            assert len(matching_classifiers(probe)) <= 1, probe
+
+    def test_epoch_prefixed_container_id_classifies(self):
+        kind, cid = msg.classify_nm_container_line(
+            "Container container_e17_1515715200000_0042_01_000002 "
+            "transitioned from LOCALIZING to SCHEDULED"
+        )
+        assert kind is EventKind.CONTAINER_SCHEDULED
+        assert cid == "container_e17_1515715200000_0042_01_000002"
+        assert msg.app_id_of_container(cid) == "application_1515715200000_0042"
+
+    def test_state_names_with_underscores(self):
+        # Underscore-bearing states parse as single tokens; this one is
+        # a cleanup transition and so is correctly *not* catalogued.
+        assert (
+            msg.classify_nm_container_line(
+                "Container container_1515715200000_0042_01_000002 "
+                "transitioned from EXITED_WITH_SUCCESS to DONE"
+            )
+            is None
+        )
+        kind, _ = msg.classify_rm_app_line(
+            "application_1515715200000_0042 State change from NEW_SAVING "
+            "to SUBMITTED on event = APP_NEW_SAVED"
+        )
+        assert kind is EventKind.APP_SUBMITTED
+
+    def test_rm_nm_near_miss_matches_neither(self):
+        # A human could read this as either the RM's or the NM's
+        # container transition wording; the anchored regexes must keep
+        # it out of both rather than double-counting it.
+        line = (
+            "Container container_1515715200000_0042_01_000002 Container "
+            "Transitioned from NEW to ALLOCATED"
+        )
+        assert msg.classify_rm_container_line(line) is None
+        assert msg.classify_nm_container_line(line) is None
+
+
+class TestCatalogStates:
+    def test_tables_exposed_for_sdlint(self):
+        catalog = msg.catalog_states()
+        assert set(catalog) == {"RMAppImpl", "RMContainerImpl", "ContainerImpl"}
+        assert catalog["RMAppImpl"]["SUBMITTED"] is EventKind.APP_SUBMITTED
+        assert catalog["ContainerImpl"]["SCHEDULED"] is EventKind.CONTAINER_SCHEDULED
+
+    def test_returns_copies(self):
+        catalog = msg.catalog_states()
+        catalog["RMAppImpl"]["BOGUS"] = EventKind.APP_FINISHED
+        assert "BOGUS" not in msg.catalog_states()["RMAppImpl"]
+
 
 class TestInstanceTypes:
     @pytest.mark.parametrize(

@@ -56,6 +56,14 @@ class TestContainerId:
         assert back == cid
         assert back.app_id.app_seq == app_seq
 
+    @given(attempt_seq=st.integers(1, 9999))
+    def test_round_trip_wide_attempt_ids(self, attempt_seq):
+        # %02d widens past attempt 99 (recurring apps); parse must keep up.
+        cid = ApplicationId(CLUSTER_TIMESTAMP, 3).container(7, attempt_seq)
+        back = ContainerId.parse(str(cid))
+        assert back == cid
+        assert back.attempt_seq == attempt_seq
+
     def test_attempt_id_format(self):
         att = ApplicationId(CLUSTER_TIMESTAMP, 5).attempt(1)
         assert str(att) == f"appattempt_{CLUSTER_TIMESTAMP}_0005_000001"
