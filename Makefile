@@ -3,7 +3,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-paper examples lint clean
+.PHONY: install test bench bench-miner bench-paper examples lint clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -16,6 +16,11 @@ bench:
 
 bench-paper:
 	REPRO_SCALE=paper $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Miner throughput only (serial vs parallel vs the pre-streaming
+# baseline); appends a trajectory point to benchmarks/results/BENCH_miner.json.
+bench-miner:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_miner_throughput.py -q -s
 
 examples:
 	$(PYTHON) examples/quickstart.py

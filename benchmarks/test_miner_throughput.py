@@ -1,0 +1,297 @@
+"""Miner throughput: streaming single-pass dispatch vs the pre-PR miner.
+
+Generates a synthetic multi-application log corpus (RM + NM + one
+stream per container, with realistic executor chatter as noise),
+measures lines/sec for
+
+* the **legacy** miner (the pre-streaming implementation: list
+  materialization plus a cascade of up to five regex attempts per
+  container-log line), kept here verbatim as the comparison baseline;
+* the current **serial** miner (prefix-gated single alternation);
+* the current **parallel** miner (``mine_parallel``, process pool);
+
+asserts the three agree event-for-event, and appends a trajectory
+point to ``benchmarks/results/BENCH_miner.json``.
+
+Corpus size: ~500k lines under ``REPRO_SCALE=paper`` (the acceptance
+corpus), ~120k under the default ``small`` scale, and ~4k when
+``REPRO_BENCH_SMOKE=1`` (the CI smoke job, which only checks equality
+and a non-zero throughput).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Iterable, List
+
+from repro.core import messages as msg
+from repro.core.events import EventKind, SchedulingEvent
+from repro.core.parser import LogMiner
+from repro.logsys.record import LogRecord
+from repro.logsys.store import LogStore
+
+RESULTS_DIR = Path(__file__).parent / "results"
+BENCH_FILE = RESULTS_DIR / "BENCH_miner.json"
+
+_EXECUTORS_PER_APP = 4
+#: Noise lines per executor stream — the corpus knob.  Application logs
+#: dominate real collections, so throughput is decided by how fast the
+#: miner rejects chatter lines.
+_NOISE_LINES = {"smoke": 8, "small": 140, "paper": 600}
+
+_EXEC_CHATTER = (
+    "Starting executor heartbeat thread",
+    "Finished task 3.0 in stage 1.0 (TID 7) in 23 ms on node02 (1/4)",
+    "Running task 1.0 in stage 2.0 (TID 11)",
+    "Block broadcast_3_piece0 stored as bytes in memory",
+    "Told master about block broadcast_3_piece0",
+    "Reading broadcast variable 3 took 2 ms",
+    # Near misses: share a literal prefix with a real message but fail
+    # its body, so the alternation (not just the gate) gets exercised.
+    "Got assigned task slot on host node02",
+    "Task attempt finished cleanly",
+)
+
+
+def corpus_apps(mode: str) -> int:
+    return {"smoke": 2, "small": 35, "paper": 165}[mode]
+
+
+def build_corpus(mode: str) -> LogStore:
+    """A deterministic multi-app log collection of the requested scale."""
+    store = LogStore()
+    noise = _NOISE_LINES[mode]
+    clock = [0.0]
+
+    def tick() -> float:
+        clock[0] += 0.001
+        return clock[0]
+
+    def emit(daemon: str, cls: str, message: str) -> None:
+        store.append(daemon, LogRecord(tick(), cls, message))
+
+    for i in range(1, corpus_apps(mode) + 1):
+        app = f"application_1515715200000_{i:04d}"
+        containers = [
+            f"container_1515715200000_{i:04d}_01_{c:06d}"
+            for c in range(1, _EXECUTORS_PER_APP + 2)
+        ]
+        am, executors = containers[0], containers[1:]
+        rm = "hadoop-resourcemanager"
+        emit(rm, "x.RMAppImpl", f"{app} State change from NEW to SUBMITTED on event = START")
+        emit(rm, "x.RMAppImpl", f"{app} State change from SUBMITTED to ACCEPTED on event = APP_ACCEPTED")
+        for c_idx, cid in enumerate(containers):
+            emit(rm, "x.RMContainerImpl", f"{cid} Container Transitioned from NEW to ALLOCATED")
+            emit(rm, "x.RMContainerImpl", f"{cid} Container Transitioned from ALLOCATED to ACQUIRED")
+            emit(rm, "x.ClientRMService", f"Allocated new applicationId: {i}")
+            nm = f"hadoop-nodemanager-node{(i + c_idx) % 7 + 1:02d}"
+            emit(nm, "x.ContainerImpl", f"Container {cid} transitioned from NEW to LOCALIZING")
+            emit(nm, "x.ContainerImpl", f"Container {cid} transitioned from LOCALIZING to SCHEDULED")
+            emit(nm, "x.ContainerImpl", f"Container {cid} transitioned from SCHEDULED to RUNNING")
+            emit(nm, "x.ContainersMonitorImpl", f"Memory usage of ProcessTree for {cid}: 180MB")
+        emit(rm, "x.RMAppImpl", f"{app} State change from ACCEPTED to RUNNING on event = ATTEMPT_REGISTERED")
+        emit(am, "org.apache.spark.deploy.yarn.ApplicationMaster", "Preparing Local resources")
+        emit(am, "org.apache.spark.deploy.yarn.ApplicationMaster", f"Registered ApplicationMaster for {app}")
+        emit(am, "org.apache.spark.deploy.yarn.YarnAllocator", f"SDCHECKER START_ALLO Will request {_EXECUTORS_PER_APP} executor container(s) for {app}")
+        emit(am, "org.apache.spark.deploy.yarn.YarnAllocator", f"SDCHECKER END_ALLO All requested containers allocated for {app} ({_EXECUTORS_PER_APP} granted)")
+        for j, cid in enumerate(executors):
+            cls = "org.apache.spark.executor.CoarseGrainedExecutorBackend"
+            emit(cid, cls, f"Started daemon with process name: {j + 2}@node02 for container {cid}")
+            for k in range(noise):
+                emit(cid, "org.apache.spark.executor.Executor", _EXEC_CHATTER[k % len(_EXEC_CHATTER)])
+            emit(cid, "org.apache.spark.executor.Executor", f"Got assigned task {j}")
+            for k in range(noise // 4):
+                emit(cid, "org.apache.spark.executor.Executor", _EXEC_CHATTER[k % len(_EXEC_CHATTER)])
+        emit(rm, "x.RMAppImpl", f"{app} State change from RUNNING to FINISHED on event = ATTEMPT_FINISHED")
+    return store
+
+
+class LegacyLogMiner:
+    """The pre-streaming miner, verbatim: the benchmark baseline.
+
+    Materializes every stream, then classifies container-log lines with
+    the cascaded ``classify_first_task_line`` →
+    ``classify_mr_task_done_line`` → ``classify_driver_line`` battery
+    (up to five regex attempts per line).
+    """
+
+    def mine(self, store: LogStore) -> List[SchedulingEvent]:
+        events: List[SchedulingEvent] = []
+        for daemon in store.daemons:
+            records = list(store.records(daemon))
+            if not records:
+                continue
+            if msg.CONTAINER_ID_RE.match(daemon):
+                events.extend(self._mine_container_stream(daemon, records))
+            elif daemon.startswith("hadoop-resourcemanager"):
+                events.extend(self._mine_rm_stream(daemon, records))
+            elif daemon.startswith("hadoop-nodemanager"):
+                events.extend(self._mine_nm_stream(daemon, records))
+        return events
+
+    def _mine_rm_stream(self, daemon, records) -> List[SchedulingEvent]:
+        events: List[SchedulingEvent] = []
+        for record in records:
+            if record.cls.endswith("RMAppImpl"):
+                hit = msg.classify_rm_app_line(record.message)
+                if hit is not None:
+                    kind, app_id = hit
+                    events.append(
+                        SchedulingEvent(kind, record.timestamp, app_id, None, daemon)
+                    )
+            elif record.cls.endswith("RMContainerImpl"):
+                hit = msg.classify_rm_container_line(record.message)
+                if hit is not None:
+                    kind, container_id = hit
+                    events.append(
+                        SchedulingEvent(
+                            kind,
+                            record.timestamp,
+                            msg.app_id_of_container(container_id),
+                            container_id,
+                            daemon,
+                        )
+                    )
+        return events
+
+    def _mine_nm_stream(self, daemon, records) -> List[SchedulingEvent]:
+        events: List[SchedulingEvent] = []
+        for record in records:
+            if not record.cls.endswith("ContainerImpl"):
+                continue
+            hit = msg.classify_nm_container_line(record.message)
+            if hit is None:
+                continue
+            kind, container_id = hit
+            events.append(
+                SchedulingEvent(
+                    kind,
+                    record.timestamp,
+                    msg.app_id_of_container(container_id),
+                    container_id,
+                    daemon,
+                )
+            )
+        return events
+
+    def _mine_container_stream(self, daemon, records) -> List[SchedulingEvent]:
+        container_id = daemon
+        app_id = msg.app_id_of_container(container_id)
+        events: List[SchedulingEvent] = []
+        first = records[0]
+        events.append(
+            SchedulingEvent(
+                EventKind.INSTANCE_FIRST_LOG,
+                first.timestamp,
+                app_id,
+                container_id,
+                daemon,
+                source_class=first.cls,
+                detail=first.message,
+            )
+        )
+        saw_task = False
+        saw_mr_done = False
+        for record in records:
+            if not saw_task and msg.classify_first_task_line(record.message):
+                saw_task = True
+                events.append(
+                    SchedulingEvent(
+                        EventKind.FIRST_TASK,
+                        record.timestamp,
+                        app_id,
+                        container_id,
+                        daemon,
+                        source_class=record.cls,
+                    )
+                )
+                continue
+            if not saw_mr_done and msg.classify_mr_task_done_line(record.message):
+                saw_mr_done = True
+                events.append(
+                    SchedulingEvent(
+                        EventKind.MR_TASK_DONE,
+                        record.timestamp,
+                        app_id,
+                        container_id,
+                        daemon,
+                        source_class=record.cls,
+                    )
+                )
+                continue
+            hit = msg.classify_driver_line(record.message)
+            if hit is not None:
+                kind, line_app_id = hit
+                events.append(
+                    SchedulingEvent(
+                        kind,
+                        record.timestamp,
+                        line_app_id,
+                        container_id,
+                        daemon,
+                        source_class=record.cls,
+                    )
+                )
+        return events
+
+
+def _time(fn, *args):
+    start = time.perf_counter()
+    result = fn(*args)
+    return result, time.perf_counter() - start
+
+
+def _record_point(point: dict) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    history = []
+    if BENCH_FILE.exists():
+        history = json.loads(BENCH_FILE.read_text(encoding="utf-8"))
+    history.append(point)
+    BENCH_FILE.write_text(json.dumps(history, indent=2) + "\n", encoding="utf-8")
+
+
+def test_miner_throughput(benchmark, scale, tmp_path):
+    mode = "smoke" if os.environ.get("REPRO_BENCH_SMOKE") else scale
+    store = build_corpus(mode)
+    lines = len(store)
+    logdir = tmp_path / "corpus"
+    store.dump(logdir)
+
+    miner = LogMiner()
+    legacy_events, legacy_s = _time(LegacyLogMiner().mine, store)
+    serial_events, serial_s = _time(miner.mine, store)
+    serial_dir_events, serial_dir_s = _time(miner.mine, str(logdir))
+    parallel_events, parallel_s = _time(miner.mine_parallel, str(logdir), 4)
+    benchmark.pedantic(miner.mine, args=(store,), rounds=1, iterations=1)
+
+    # Equivalence: the optimized and parallel pipelines must reproduce
+    # the legacy miner event-for-event.
+    assert serial_events == legacy_events
+    assert parallel_events == serial_dir_events
+    assert [
+        (e.kind, e.app_id, e.container_id, e.daemon) for e in serial_dir_events
+    ] == [(e.kind, e.app_id, e.container_id, e.daemon) for e in serial_events]
+
+    speedup = legacy_s / serial_s if serial_s > 0 else float("inf")
+    point = {
+        "mode": mode,
+        "corpus_lines": lines,
+        "apps": corpus_apps(mode),
+        "legacy_store_lps": round(lines / legacy_s),
+        "serial_store_lps": round(lines / serial_s),
+        "serial_dir_lps": round(lines / serial_dir_s),
+        "parallel_dir_lps": round(lines / parallel_s),
+        "parallel_jobs": 4,
+        "speedup_vs_legacy": round(speedup, 2),
+    }
+    _record_point(point)
+    print()
+    print(json.dumps(point))
+
+    assert lines / serial_s > 0
+    if mode != "smoke":
+        # The acceptance bar: >= 3x the pre-PR miner on the same corpus.
+        assert speedup >= 3.0, f"only {speedup:.2f}x over the legacy miner"

@@ -32,6 +32,16 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit machine-readable JSON"
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "mine the daemon log streams with N worker processes "
+            "(default 1: serial; the output is identical either way)"
+        ),
+    )
+    parser.add_argument(
         "--metric",
         choices=sorted(METRICS),
         help="print one metric's sample instead of the full summary",
@@ -91,7 +101,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     if not logdir.is_dir():
         print(f"sdchecker: {logdir} is not a directory", file=sys.stderr)
         return 2
-    checker = SDChecker()
+    if args.jobs < 1:
+        print("sdchecker: --jobs must be >= 1", file=sys.stderr)
+        return 2
+    checker = SDChecker(jobs=args.jobs)
 
     if args.graph:
         traces = checker.group(logdir)

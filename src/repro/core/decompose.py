@@ -133,10 +133,11 @@ def decompose(trace: ApplicationTrace) -> ApplicationDelays:
     registered = trace.time_of(EventKind.APP_ATTEMPT_REGISTERED)
     finished = trace.time_of(EventKind.APP_FINISHED)
 
-    containers = [
-        ContainerDelays.from_trace(trace.containers[cid])
-        for cid in sorted(trace.containers)
-    ]
+    # One pass over the container traces (sorted for determinism); every
+    # time_of() below is an O(1) lookup into the trace's first-event
+    # index, so decomposition is linear in the number of events.
+    sorted_traces = [trace.containers[cid] for cid in sorted(trace.containers)]
+    containers = [ContainerDelays.from_trace(t) for t in sorted_traces]
     workers = [c for c in containers if not c.is_application_master]
 
     # Driver delay: driver FIRST_LOG -> driver's Registered-AM line.
@@ -151,8 +152,9 @@ def decompose(trace: ApplicationTrace) -> ApplicationDelays:
     exec_first_logs = [
         t
         for t in (
-            trace.containers[c.container_id].time_of(EventKind.INSTANCE_FIRST_LOG)
-            for c in workers
+            ctrace.time_of(EventKind.INSTANCE_FIRST_LOG)
+            for ctrace in sorted_traces
+            if not ctrace.is_application_master
         )
         if t is not None
     ]

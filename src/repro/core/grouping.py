@@ -38,23 +38,37 @@ class ContainerTrace:
 
     container_id: str
     events: List[SchedulingEvent] = field(default_factory=list)
+    #: First occurrence of each kind, maintained incrementally so
+    #: :meth:`first` / :meth:`time_of` are O(1) instead of re-scanning
+    #: the event list (the old quadratic hot path under decompose()).
+    _first_by_kind: Dict[EventKind, SchedulingEvent] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        for event in self.events:
+            self._index(event)
+
+    def _index(self, event: SchedulingEvent) -> None:
+        held = self._first_by_kind.get(event.kind)
+        # Strict '<' keeps the scan semantics: on a timestamp tie the
+        # earliest-added event wins.
+        if held is None or event.timestamp < held.timestamp:
+            self._first_by_kind[event.kind] = event
 
     def add(self, event: SchedulingEvent) -> None:
         self.events.append(event)
+        self._index(event)
 
     def sort(self) -> None:
         self.events.sort(key=lambda e: e.timestamp)
 
     def first(self, kind: EventKind) -> Optional[SchedulingEvent]:
         """Earliest event of ``kind``, or None."""
-        best = None
-        for event in self.events:
-            if event.kind is kind and (best is None or event.timestamp < best.timestamp):
-                best = event
-        return best
+        return self._first_by_kind.get(kind)
 
     def time_of(self, kind: EventKind) -> Optional[float]:
-        event = self.first(kind)
+        event = self._first_by_kind.get(kind)
         return None if event is None else event.timestamp
 
     @property
@@ -71,7 +85,11 @@ class ContainerTrace:
         code = instance_type_of_class(first_log.source_class)
         if code == "mrs":
             # YarnChild logs the attempt ID, whose m/r marker tells map
-            # children from reduce children.
+            # children from reduce children.  A first-log event with no
+            # captured detail (hand-built or from a truncated line)
+            # cannot be refined — report the unrefined code.
+            if first_log.detail is None:
+                return "mrs"
             return "mrsr" if "_r_" in first_log.detail else "mrsm"
         return code
 
@@ -96,6 +114,20 @@ class ApplicationTrace:
     app_id: str
     events: List[SchedulingEvent] = field(default_factory=list)
     containers: Dict[str, ContainerTrace] = field(default_factory=dict)
+    #: First occurrence by kind over the app-level event list (container
+    #: events are indexed by their own ContainerTrace).
+    _first_by_kind: Dict[EventKind, SchedulingEvent] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        for event in self.events:
+            self._index(event)
+
+    def _index(self, event: SchedulingEvent) -> None:
+        held = self._first_by_kind.get(event.kind)
+        if held is None or event.timestamp < held.timestamp:
+            self._first_by_kind[event.kind] = event
 
     def add(self, event: SchedulingEvent) -> None:
         if event.kind in _CONTAINER_KINDS and event.container_id is not None:
@@ -104,6 +136,7 @@ class ApplicationTrace:
             ).add(event)
         else:
             self.events.append(event)
+            self._index(event)
 
     def sort(self) -> None:
         self.events.sort(key=lambda e: e.timestamp)
@@ -111,14 +144,10 @@ class ApplicationTrace:
             trace.sort()
 
     def first(self, kind: EventKind) -> Optional[SchedulingEvent]:
-        best = None
-        for event in self.events:
-            if event.kind is kind and (best is None or event.timestamp < best.timestamp):
-                best = event
-        return best
+        return self._first_by_kind.get(kind)
 
     def time_of(self, kind: EventKind) -> Optional[float]:
-        event = self.first(kind)
+        event = self._first_by_kind.get(kind)
         return None if event is None else event.timestamp
 
     @property

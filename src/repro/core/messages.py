@@ -18,11 +18,16 @@ from repro.core.events import EventKind
 __all__ = [
     "APP_ID_RE",
     "CONTAINER_ID_RE",
+    "CONTAINER_LINE_PREFIXES",
+    "NM_CONTAINER_LINE_PREFIX",
+    "RM_APP_LINE_PREFIX",
+    "RM_CONTAINER_LINE_PREFIX",
     "app_id_of_container",
     "catalog_states",
     "classify_rm_app_line",
     "classify_rm_container_line",
     "classify_nm_container_line",
+    "classify_container_line",
     "classify_driver_line",
     "classify_first_task_line",
     "classify_mr_task_done_line",
@@ -60,6 +65,35 @@ _END_ALLO_RE = re.compile(
 )
 _FIRST_TASK_RE = re.compile(r"^Got assigned task (?P<task>\d+)$")
 _MR_TASK_DONE_RE = re.compile(r"^Task attempt_\d+_\d+_[mr]_\d+_\d+ is done$")
+
+#: Literal prefixes of every delay-relevant line of each stream type.
+#: A daemon-log line not starting with its stream's prefix cannot match
+#: any Table I classifier, so the miner's hot loop rejects it with one
+#: C-level ``str.startswith`` instead of a cascade of regex attempts.
+RM_APP_LINE_PREFIX = "application_"
+RM_CONTAINER_LINE_PREFIX = "container_"
+NM_CONTAINER_LINE_PREFIX = "Container container_"
+CONTAINER_LINE_PREFIXES = (
+    "Registered ApplicationMaster for ",
+    "SDCHECKER ",
+    "Got assigned task ",
+    "Task attempt_",
+)
+
+#: Single-pass alternation over every container-log classifier
+#: (messages 10-12, 14 and the MR task-done line).  Branch order mirrors
+#: the cascade in :func:`classify_driver_line` /
+#: :func:`classify_first_task_line` / :func:`classify_mr_task_done_line`;
+#: the branches are mutually exclusive (distinct literal heads), so one
+#: ``match`` is equivalent to trying all five regexes in order.
+_CONTAINER_LINE_RE = re.compile(
+    r"^(?:"
+    r"Registered ApplicationMaster for (?P<reg_app>application_\d+_\d{4,})\b"
+    r"|SDCHECKER (?P<marker>START_ALLO|END_ALLO)\b.*?(?P<marker_app>application_\d+_\d{4,})"
+    r"|Got assigned task (?P<task>\d+)$"
+    r"|Task (?P<mr_done>attempt_\d+_\d+_[mr]_\d+_\d+) is done$"
+    r")"
+)
 
 #: RMAppImpl new-state -> event kind (messages 1-3 + job end).
 _RMAPP_STATES = {
@@ -166,6 +200,34 @@ def classify_driver_line(message: str) -> Optional[Tuple[EventKind, str]]:
         if m is not None:
             return kind, m["app"]
     return None
+
+
+def classify_container_line(
+    message: str,
+) -> Optional[Tuple[EventKind, Optional[str]]]:
+    """Single-pass classification of a container-log line.
+
+    Returns ``(kind, app_id)`` — ``app_id`` is None for the positional
+    FIRST_TASK / MR_TASK_DONE lines, which bind through their stream's
+    container ID instead.  Agrees line-for-line with the cascaded
+    :func:`classify_driver_line` → :func:`classify_first_task_line` →
+    :func:`classify_mr_task_done_line` battery (the catalog contract
+    sdlint checks), but costs one literal prefix test plus at most one
+    regex match.
+    """
+    if not message.startswith(CONTAINER_LINE_PREFIXES):
+        return None
+    m = _CONTAINER_LINE_RE.match(message)
+    if m is None:
+        return None
+    if m["task"] is not None:
+        return EventKind.FIRST_TASK, None
+    if m["mr_done"] is not None:
+        return EventKind.MR_TASK_DONE, None
+    if m["reg_app"] is not None:
+        return EventKind.DRIVER_REGISTERED, m["reg_app"]
+    kind = EventKind.START_ALLO if m["marker"] == "START_ALLO" else EventKind.END_ALLO
+    return kind, m["marker_app"]
 
 
 def classify_first_task_line(message: str) -> bool:

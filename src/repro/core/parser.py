@@ -7,21 +7,41 @@ streams (one per launched container, as YARN's log aggregation lays
 them out) additionally yield the FIRST_LOG and FIRST_TASK events, which
 are positional: *the first line* of the stream, and *the first* "Got
 assigned task" line.
+
+The pipeline is streaming and embarrassingly parallel:
+
+* streams are consumed as iterators (:meth:`LogStore.iter_records` in
+  memory, :func:`iter_file_records` chunked off disk), so corpus size
+  never bounds memory;
+* each line pays one literal prefix test and at most one precompiled
+  alternation match (:func:`repro.core.messages.classify_container_line`
+  and the prefix gates) instead of a cascade of regex searches;
+* :meth:`LogMiner.mine_parallel` fans whole daemon streams out over a
+  :class:`~concurrent.futures.ProcessPoolExecutor` and concatenates the
+  per-daemon results in sorted-daemon order — the same order serial
+  mining uses — so its output is byte-identical to :meth:`LogMiner.mine`.
 """
 
 from __future__ import annotations
 
+import itertools
+from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
-from typing import Iterable, List, Optional, Union
+from typing import Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.core import messages as msg
 from repro.core.events import EventKind, SchedulingEvent
 from repro.logsys.record import LogRecord
-from repro.logsys.store import LogStore
+from repro.logsys.store import LogStore, directory_glob, iter_file_records
 
 __all__ = ["LogMiner"]
 
 _CONTAINER_DAEMON_RE = msg.CONTAINER_ID_RE
+
+#: A unit of parallel work: the daemon name plus either its in-memory
+#: records or the path of its log file (workers then stream the file
+#: themselves, so record lists never cross the process boundary twice).
+_StreamTask = Tuple[str, Optional[Tuple[LogRecord, ...]], Optional[str]]
 
 
 class LogMiner:
@@ -29,22 +49,66 @@ class LogMiner:
 
     def mine(self, source: Union[LogStore, str, Path]) -> List[SchedulingEvent]:
         """All scheduling events, in per-stream log order."""
-        store = (
-            source if isinstance(source, LogStore) else LogStore.load(Path(source))
-        )
         events: List[SchedulingEvent] = []
-        for daemon in store.daemons:
-            records = store.records(daemon)
-            if not records:
-                continue
-            if _CONTAINER_DAEMON_RE.match(daemon):
-                events.extend(self._mine_container_stream(daemon, records))
-            elif daemon.startswith("hadoop-resourcemanager"):
-                events.extend(self._mine_rm_stream(daemon, records))
-            elif daemon.startswith("hadoop-nodemanager"):
-                events.extend(self._mine_nm_stream(daemon, records))
-            # Unknown streams are ignored — a miner must tolerate noise.
+        for daemon, records in self._streams_of(source):
+            events.extend(self._mine_stream(daemon, records))
         return events
+
+    def mine_parallel(
+        self, source: Union[LogStore, str, Path], jobs: int = 2
+    ) -> List[SchedulingEvent]:
+        """:meth:`mine`, fanned out over ``jobs`` worker processes.
+
+        Daemon streams are independent, so each worker mines a subset
+        and the results are concatenated in sorted-daemon order — the
+        exact order :meth:`mine` emits — making the parallel output
+        byte-identical to the serial one.  ``jobs <= 1`` runs inline.
+        """
+        tasks = self._stream_tasks(source)
+        if jobs <= 1 or len(tasks) <= 1:
+            results = [_mine_stream_task(task) for task in tasks]
+        else:
+            workers = min(jobs, len(tasks))
+            chunksize = max(1, len(tasks) // (4 * workers))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                # Executor.map preserves input order: the merge is
+                # deterministic no matter which worker finishes first.
+                results = list(pool.map(_mine_stream_task, tasks, chunksize=chunksize))
+        return [event for stream_events in results for event in stream_events]
+
+    # -- stream enumeration ------------------------------------------------
+    def _streams_of(
+        self, source: Union[LogStore, str, Path]
+    ) -> Iterator[Tuple[str, Iterable[LogRecord]]]:
+        """(daemon, lazily-iterable records) in sorted daemon order."""
+        if isinstance(source, LogStore):
+            for daemon in source.daemons:
+                yield daemon, source.iter_records(daemon)
+        else:
+            for path in sorted(directory_glob(source), key=lambda p: p.stem):
+                yield path.stem, iter_file_records(path)
+
+    def _stream_tasks(self, source: Union[LogStore, str, Path]) -> List[_StreamTask]:
+        """Picklable per-daemon work items, in sorted daemon order."""
+        if isinstance(source, LogStore):
+            return [(d, source.records(d), None) for d in source.daemons]
+        return [
+            (path.stem, None, str(path))
+            for path in sorted(directory_glob(source), key=lambda p: p.stem)
+        ]
+
+    def _mine_stream(
+        self, daemon: str, records: Iterable[LogRecord]
+    ) -> List[SchedulingEvent]:
+        """Dispatch one stream to its miner by daemon-name shape."""
+        if _CONTAINER_DAEMON_RE.match(daemon):
+            return self._mine_container_stream(daemon, records)
+        if daemon.startswith("hadoop-resourcemanager"):
+            return self._mine_rm_stream(daemon, records)
+        if daemon.startswith("hadoop-nodemanager"):
+            return self._mine_nm_stream(daemon, records)
+        # Unknown streams are ignored — a miner must tolerate noise.
+        return []
 
     # -- per-stream miners ------------------------------------------------------
     def _mine_rm_stream(
@@ -52,15 +116,20 @@ class LogMiner:
     ) -> List[SchedulingEvent]:
         events: List[SchedulingEvent] = []
         for record in records:
-            if record.cls.endswith("RMAppImpl"):
-                hit = msg.classify_rm_app_line(record.message)
+            message = record.message
+            if message.startswith(msg.RM_APP_LINE_PREFIX) and record.cls.endswith(
+                "RMAppImpl"
+            ):
+                hit = msg.classify_rm_app_line(message)
                 if hit is not None:
                     kind, app_id = hit
                     events.append(
                         SchedulingEvent(kind, record.timestamp, app_id, None, daemon)
                     )
-            elif record.cls.endswith("RMContainerImpl"):
-                hit = msg.classify_rm_container_line(record.message)
+            elif message.startswith(
+                msg.RM_CONTAINER_LINE_PREFIX
+            ) and record.cls.endswith("RMContainerImpl"):
+                hit = msg.classify_rm_container_line(message)
                 if hit is not None:
                     kind, container_id = hit
                     events.append(
@@ -79,6 +148,8 @@ class LogMiner:
     ) -> List[SchedulingEvent]:
         events: List[SchedulingEvent] = []
         for record in records:
+            if not record.message.startswith(msg.NM_CONTAINER_LINE_PREFIX):
+                continue
             if not record.cls.endswith("ContainerImpl"):
                 continue
             hit = msg.classify_nm_container_line(record.message)
@@ -97,7 +168,7 @@ class LogMiner:
         return events
 
     def _mine_container_stream(
-        self, daemon: str, records: List[LogRecord]
+        self, daemon: str, records: Iterable[LogRecord]
     ) -> List[SchedulingEvent]:
         """A container's own log: FIRST_LOG, driver markers, FIRST_TASK.
 
@@ -108,7 +179,10 @@ class LogMiner:
         container_id = daemon
         app_id = msg.app_id_of_container(container_id)
         events: List[SchedulingEvent] = []
-        first = records[0]
+        stream = iter(records)
+        first = next(stream, None)
+        if first is None:
+            return events
         events.append(
             SchedulingEvent(
                 EventKind.INSTANCE_FIRST_LOG,
@@ -122,44 +196,35 @@ class LogMiner:
         )
         saw_task = False
         saw_mr_done = False
-        for record in records:
-            if not saw_task and msg.classify_first_task_line(record.message):
+        for record in itertools.chain((first,), stream):
+            hit = msg.classify_container_line(record.message)
+            if hit is None:
+                continue
+            kind, line_app_id = hit
+            if kind is EventKind.FIRST_TASK:
+                if saw_task:
+                    continue
                 saw_task = True
-                events.append(
-                    SchedulingEvent(
-                        EventKind.FIRST_TASK,
-                        record.timestamp,
-                        app_id,
-                        container_id,
-                        daemon,
-                        source_class=record.cls,
-                    )
-                )
-                continue
-            if not saw_mr_done and msg.classify_mr_task_done_line(record.message):
+            elif kind is EventKind.MR_TASK_DONE:
+                if saw_mr_done:
+                    continue
                 saw_mr_done = True
-                events.append(
-                    SchedulingEvent(
-                        EventKind.MR_TASK_DONE,
-                        record.timestamp,
-                        app_id,
-                        container_id,
-                        daemon,
-                        source_class=record.cls,
-                    )
+            events.append(
+                SchedulingEvent(
+                    kind,
+                    record.timestamp,
+                    app_id if line_app_id is None else line_app_id,
+                    container_id,
+                    daemon,
+                    source_class=record.cls,
                 )
-                continue
-            hit = msg.classify_driver_line(record.message)
-            if hit is not None:
-                kind, line_app_id = hit
-                events.append(
-                    SchedulingEvent(
-                        kind,
-                        record.timestamp,
-                        line_app_id,
-                        container_id,
-                        daemon,
-                        source_class=record.cls,
-                    )
-                )
+            )
         return events
+
+
+def _mine_stream_task(task: _StreamTask) -> List[SchedulingEvent]:
+    """Worker entry point: mine one daemon stream (module-level for pickling)."""
+    daemon, records, path = task
+    if records is None:
+        records = iter_file_records(Path(path))
+    return LogMiner()._mine_stream(daemon, records)

@@ -6,16 +6,61 @@ driver's and each executor's stdout/stderr aggregation).  File names
 follow the ``<daemon>.log`` convention so a directory of logs produced
 by :meth:`LogStore.dump` is exactly what SDchecker's offline CLI
 consumes.
+
+Reading is streaming-first: :meth:`LogStore.iter_records` and
+:func:`iter_file_records` yield one record at a time, so a million-line
+log never has to be materialized to be mined.  :meth:`LogStore.records`
+returns a cached immutable tuple view (rebuilt only after an append),
+which makes repeated per-daemon reads O(1) instead of a list copy per
+call.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Callable, Dict, Iterable, Iterator, List
+from typing import Callable, Dict, Iterable, Iterator, List, Tuple
 
 from repro.logsys.record import LogRecord
 
-__all__ = ["DaemonLogger", "LogStore"]
+__all__ = ["DaemonLogger", "LogStore", "iter_file_lines", "iter_file_records"]
+
+#: Default read size for the chunked file reader: large enough to
+#: amortize syscalls, small enough to keep memory flat on huge logs.
+_CHUNK_SIZE = 1 << 16
+
+
+def iter_file_lines(path: str | Path, chunk_size: int = _CHUNK_SIZE) -> Iterator[str]:
+    """Yield the text lines of ``path`` reading fixed-size chunks.
+
+    Equivalent to ``path.read_text().splitlines()`` but with O(chunk)
+    memory: the file is never fully materialized.
+    """
+    tail = ""
+    with open(path, "r", encoding="utf-8") as handle:
+        while True:
+            chunk = handle.read(chunk_size)
+            if not chunk:
+                break
+            chunk = tail + chunk
+            lines = chunk.split("\n")
+            tail = lines.pop()
+            yield from lines
+    if tail:
+        yield tail
+
+
+def iter_file_records(
+    path: str | Path, chunk_size: int = _CHUNK_SIZE
+) -> Iterator[LogRecord]:
+    """Yield the parseable :class:`LogRecord` lines of one log file.
+
+    Unparseable lines (stack traces, wrapped output) are skipped, as a
+    log miner must.
+    """
+    for line in iter_file_lines(path, chunk_size):
+        record = LogRecord.try_parse(line)
+        if record is not None:
+            yield record
 
 
 class DaemonLogger:
@@ -46,6 +91,9 @@ class LogStore:
 
     def __init__(self):
         self._streams: Dict[str, List[LogRecord]] = {}
+        #: daemon -> cached immutable view, invalidated by append().
+        self._views: Dict[str, Tuple[LogRecord, ...]] = {}
+        self._sealed = False
 
     # -- writing ---------------------------------------------------------
     def logger(self, daemon: str, clock: Callable[[], float]) -> DaemonLogger:
@@ -54,7 +102,24 @@ class LogStore:
         return DaemonLogger(self, daemon, clock)
 
     def append(self, daemon: str, record: LogRecord) -> None:
+        if self._sealed:
+            raise RuntimeError("LogStore is sealed; offline logs are complete")
         self._streams.setdefault(daemon, []).append(record)
+        self._views.pop(daemon, None)
+
+    def seal(self) -> "LogStore":
+        """Freeze the store: further appends raise.
+
+        A sealed store models an offline log collection — the run is
+        over, the files are what they are — so readers may hold onto
+        the tuple views from :meth:`records` indefinitely.
+        """
+        self._sealed = True
+        return self
+
+    @property
+    def sealed(self) -> bool:
+        return self._sealed
 
     # -- reading ---------------------------------------------------------
     @property
@@ -62,9 +127,26 @@ class LogStore:
         """Names of all streams, sorted for determinism."""
         return sorted(self._streams)
 
-    def records(self, daemon: str) -> List[LogRecord]:
-        """Records of one stream in emission order."""
-        return list(self._streams.get(daemon, []))
+    def records(self, daemon: str) -> Tuple[LogRecord, ...]:
+        """Records of one stream in emission order, as an immutable view.
+
+        The tuple is cached: repeated calls between appends return the
+        same object instead of copying the backing list each time.
+        """
+        view = self._views.get(daemon)
+        if view is None:
+            view = tuple(self._streams.get(daemon, ()))
+            self._views[daemon] = view
+        return view
+
+    def iter_records(self, daemon: str) -> Iterator[LogRecord]:
+        """Lazily yield one stream's records in emission order."""
+        yield from self._streams.get(daemon, ())
+
+    def iter_lines(self, daemon: str) -> Iterator[str]:
+        """Lazily yield one stream's rendered text lines."""
+        for record in self.iter_records(daemon):
+            yield record.render()
 
     def all_records(self) -> Iterator[tuple[str, LogRecord]]:
         """(daemon, record) pairs across all streams, per-stream order."""
@@ -81,13 +163,20 @@ class LogStore:
 
     # -- file round-trip ---------------------------------------------------
     def dump(self, directory: str | Path) -> List[Path]:
-        """Write each stream to ``<directory>/<daemon>.log``."""
+        """Write each stream to ``<directory>/<daemon>.log`` (UTF-8).
+
+        An empty stream becomes an empty file — not a lone newline —
+        so ``load(dump(store))`` is an identity on stream structure.
+        """
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
         written = []
         for daemon in self.daemons:
             path = directory / f"{daemon}.log"
-            path.write_text("\n".join(self.render(daemon)) + "\n")
+            path.write_text(
+                "".join(line + "\n" for line in self.iter_lines(daemon)),
+                encoding="utf-8",
+            )
             written.append(path)
         return written
 
@@ -96,17 +185,17 @@ class LogStore:
         """Read every ``*.log`` file in ``directory`` back into a store.
 
         Unparseable lines (stack traces, wrapped output) are skipped, as
-        a log miner must.
+        a log miner must.  A file with no parseable lines still registers
+        its (empty) stream, and the returned store is sealed — the files
+        on disk are the complete run.
         """
         store = cls()
-        directory = Path(directory)
-        for path in sorted(directory.glob("*.log")):
+        for path in sorted(directory_glob(directory), key=lambda p: p.stem):
             daemon = path.stem
-            for line in path.read_text().splitlines():
-                record = LogRecord.try_parse(line)
-                if record is not None:
-                    store.append(daemon, record)
-        return store
+            store._streams.setdefault(daemon, [])
+            for record in iter_file_records(path):
+                store.append(daemon, record)
+        return store.seal()
 
     @classmethod
     def from_lines(cls, named_lines: Iterable[tuple[str, str]]) -> "LogStore":
@@ -117,3 +206,8 @@ class LogStore:
             if record is not None:
                 store.append(daemon, record)
         return store
+
+
+def directory_glob(directory: str | Path) -> List[Path]:
+    """The ``*.log`` files of one log directory (unsorted)."""
+    return [p for p in Path(directory).glob("*.log") if p.is_file()]

@@ -58,6 +58,38 @@ class TestGrouping:
         assert group_events([orphan]) == {}
 
 
+class TestInstanceTypeDetailGuard:
+    """A YarnChild first-log with missing detail must not crash (#2)."""
+
+    def _mr_trace(self, detail):
+        from repro.core.events import SchedulingEvent
+        from repro.core.grouping import ContainerTrace
+
+        trace = ContainerTrace(EXEC)
+        trace.add(
+            SchedulingEvent(
+                EventKind.INSTANCE_FIRST_LOG,
+                1.0,
+                APP,
+                EXEC,
+                EXEC,
+                source_class="org.apache.hadoop.mapred.YarnChild",
+                detail=detail,
+            )
+        )
+        return trace
+
+    def test_none_detail_returns_unrefined_mrs(self):
+        assert self._mr_trace(None).instance_type == "mrs"
+
+    def test_empty_detail_defaults_to_map_child(self):
+        assert self._mr_trace("").instance_type == "mrsm"
+
+    def test_reduce_marker_still_refines(self):
+        attempt = "attempt_1515715200000_0001_r_000000_0"
+        assert self._mr_trace(f"Starting task {attempt}").instance_type == "mrsr"
+
+
 class TestDecomposition:
     """Hand-checked against the timestamps in build_store():
 

@@ -117,3 +117,106 @@ class TestLogStore:
         store.logger("a", lambda: 0.0).info("C", "m2")
         daemons = [d for d, _r in store.all_records()]
         assert daemons == ["a", "b"]
+
+
+class TestRecordsView:
+    """records() is an immutable cached view, not a per-call copy."""
+
+    def test_returns_tuple(self):
+        store = LogStore()
+        store.logger("d", lambda: 0.0).info("C", "m")
+        assert isinstance(store.records("d"), tuple)
+
+    def test_repeated_calls_share_the_view(self):
+        store = LogStore()
+        store.logger("d", lambda: 0.0).info("C", "m")
+        assert store.records("d") is store.records("d")
+
+    def test_append_invalidates_the_view(self):
+        store = LogStore()
+        log = store.logger("d", lambda: 0.0)
+        log.info("C", "m1")
+        before = store.records("d")
+        log.info("C", "m2")
+        after = store.records("d")
+        assert len(before) == 1 and len(after) == 2
+
+    def test_sealed_store_rejects_appends(self):
+        store = LogStore()
+        store.logger("d", lambda: 0.0).info("C", "m")
+        store.seal()
+        with pytest.raises(RuntimeError):
+            store.append("d", LogRecord(1.0, "C", "late"))
+
+    def test_load_returns_sealed_store(self, tmp_path):
+        LogStore().dump(tmp_path)
+        (tmp_path / "d.log").write_text(
+            "2018-01-12 00:00:00,000 INFO C: m\n", encoding="utf-8"
+        )
+        assert LogStore.load(tmp_path).sealed
+
+
+class TestRoundTripIdentity:
+    """dump() then load() preserves the exact stream structure."""
+
+    def test_empty_stream_survives(self, tmp_path):
+        store = LogStore()
+        store.logger("quiet-daemon", lambda: 0.0)  # registered, never wrote
+        store.logger("noisy", lambda: 1.0).info("C", "m")
+        store.dump(tmp_path)
+        assert (tmp_path / "quiet-daemon.log").read_text(encoding="utf-8") == ""
+        loaded = LogStore.load(tmp_path)
+        assert loaded.daemons == ["noisy", "quiet-daemon"]
+        assert loaded.records("quiet-daemon") == ()
+
+    def test_utf8_messages_survive(self, tmp_path):
+        store = LogStore()
+        store.logger("d", lambda: 0.5).info("C", "métriques λ≤∞ 完了")
+        store.dump(tmp_path)
+        loaded = LogStore.load(tmp_path)
+        assert loaded.records("d")[0].message == "métriques λ≤∞ 完了"
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        streams=st.dictionaries(
+            keys=st.text(alphabet="abcdefghij0123456789-", min_size=1, max_size=12),
+            values=st.lists(
+                st.tuples(
+                    st.integers(min_value=0, max_value=86_400_000),  # millis
+                    st.text(alphabet="ABCDEFG", min_size=1, max_size=4),  # level
+                    st.text(
+                        alphabet="abcXYZ012._$-", min_size=1, max_size=16
+                    ),  # class
+                    st.text(
+                        st.characters(codec="utf-8", exclude_characters="\n\r"),
+                        max_size=40,
+                    ),  # message
+                ),
+                max_size=8,
+            ),
+            max_size=4,
+        )
+    )
+    def test_dump_load_is_identity(self, streams, tmp_path_factory):
+        tmp_path = tmp_path_factory.mktemp("roundtrip")
+        store = LogStore()
+        for daemon, rows in streams.items():
+            store._streams.setdefault(daemon, [])
+            for millis, level, cls, message in rows:
+                store.append(
+                    daemon,
+                    LogRecord(
+                        timestamp=millis / 1000.0, cls=cls, message=message, level=level
+                    ),
+                )
+        store.dump(tmp_path)
+        loaded = LogStore.load(tmp_path)
+        assert loaded.daemons == store.daemons
+        for daemon in store.daemons:
+            # Timestamps are quantized to the shared ms precision, so
+            # identity is judged on the rendered lines plus the exact
+            # (level, class, message) triples.
+            assert loaded.render(daemon) == store.render(daemon)
+            assert [(r.level, r.cls, r.message) for r in loaded.records(daemon)] == [
+                (r.level, r.cls, r.message) for r in store.records(daemon)
+            ]

@@ -1,0 +1,218 @@
+"""Mining-pipeline tests: streaming readers, parallel equivalence, and
+the O(1) first-event index.
+
+The equivalence corpus is simulator-generated (two TPC-H query apps on
+a small testbed), so serial and parallel mining are compared on exactly
+the log shapes the rest of the suite analyzes.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import messages as msg
+from repro.core.events import EventKind, SchedulingEvent
+from repro.core.grouping import ApplicationTrace, ContainerTrace
+from repro.core.parser import LogMiner
+from repro.logsys.store import LogStore, iter_file_lines, iter_file_records
+from repro.params import SimulationParams
+from repro.testbed import Testbed
+from tests.conftest import make_query_app
+
+APP = "application_1515715200000_0001"
+CONTAINER = "container_1515715200000_0001_01_000002"
+
+
+@pytest.fixture(scope="module")
+def corpus_store() -> LogStore:
+    """Logs of a two-application simulated run."""
+    bed = Testbed(params=SimulationParams(num_nodes=5), seed=29)
+    for i in range(2):
+        bed.submit(make_query_app(f"equiv-q{i}", query=i + 1))
+    bed.run_until_all_finished(limit=5000)
+    return bed.log_store
+
+
+@pytest.fixture(scope="module")
+def corpus_dir(corpus_store, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("equiv-logs")
+    corpus_store.dump(directory)
+    return directory
+
+
+class TestParallelEquivalence:
+    """mine() == mine_parallel(jobs=1) == mine_parallel(jobs=4)."""
+
+    def test_store_source_event_for_event(self, corpus_store):
+        miner = LogMiner()
+        serial = miner.mine(corpus_store)
+        assert serial, "corpus mined no events"
+        assert miner.mine_parallel(corpus_store, jobs=1) == serial
+        assert miner.mine_parallel(corpus_store, jobs=4) == serial
+
+    def test_directory_source_event_for_event(self, corpus_dir):
+        miner = LogMiner()
+        serial = miner.mine(corpus_dir)
+        assert serial, "corpus mined no events"
+        assert miner.mine_parallel(corpus_dir, jobs=1) == serial
+        assert miner.mine_parallel(corpus_dir, jobs=4) == serial
+
+    def test_directory_agrees_with_store(self, corpus_store, corpus_dir):
+        # Dumping to disk and re-mining must not change the events
+        # (modulo the millisecond quantization both sides share).
+        from_store = LogMiner().mine(corpus_store)
+        from_dir = LogMiner().mine(corpus_dir)
+        assert [
+            (e.kind, e.app_id, e.container_id, e.daemon) for e in from_store
+        ] == [(e.kind, e.app_id, e.container_id, e.daemon) for e in from_dir]
+
+    def test_jobs_do_not_change_downstream_analysis(self, corpus_dir):
+        from repro.core.checker import SDChecker
+
+        serial = SDChecker(jobs=1).analyze(corpus_dir)
+        parallel = SDChecker(jobs=4).analyze(corpus_dir)
+        assert [a.app_id for a in serial.apps] == [a.app_id for a in parallel.apps]
+        assert [a.total_delay for a in serial.apps] == [
+            a.total_delay for a in parallel.apps
+        ]
+
+
+class TestStreamingReaders:
+    def test_iter_records_is_lazy_and_complete(self, corpus_store):
+        daemon = corpus_store.daemons[0]
+        it = corpus_store.iter_records(daemon)
+        assert iter(it) is it  # a generator, not a materialized copy
+        assert tuple(it) == corpus_store.records(daemon)
+
+    def test_iter_lines_matches_render(self, corpus_store):
+        daemon = corpus_store.daemons[0]
+        assert list(corpus_store.iter_lines(daemon)) == corpus_store.render(daemon)
+
+    def test_chunked_file_reader_matches_read_text(self, tmp_path):
+        lines = [f"2018-01-12 00:00:0{i},000 INFO Cls: line {i}" for i in range(8)]
+        lines.insert(3, "java.io.IOException: noise")  # unparseable, kept by reader
+        path = tmp_path / "d.log"
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        # Tiny chunk size forces many partial-line boundaries.
+        assert list(iter_file_lines(path, chunk_size=7)) == lines
+        parsed = list(iter_file_records(path, chunk_size=7))
+        assert [r.message for r in parsed] == [f"line {i}" for i in range(8)]
+
+    def test_file_without_trailing_newline(self, tmp_path):
+        path = tmp_path / "d.log"
+        path.write_text("2018-01-12 00:00:01,000 INFO C: only", encoding="utf-8")
+        assert [r.message for r in iter_file_records(path)] == ["only"]
+
+
+class TestSinglePassDispatch:
+    """The one-regex container classifier agrees with the old cascade."""
+
+    def _cascade(self, message):
+        # The pre-pipeline classification order, verbatim.
+        if msg.classify_first_task_line(message):
+            return EventKind.FIRST_TASK, None
+        if msg.classify_mr_task_done_line(message):
+            return EventKind.MR_TASK_DONE, None
+        return msg.classify_driver_line(message)
+
+    LINES = [
+        f"Registered ApplicationMaster for {APP}",
+        f"SDCHECKER START_ALLO Will request 4 executor container(s) for {APP}",
+        f"SDCHECKER END_ALLO All requested containers allocated for {APP} (4 granted)",
+        "Got assigned task 0",
+        "Got assigned task 17",
+        "Task attempt_1515715200000_0001_m_000003_0 is done",
+        "Task attempt_1515715200000_0001_r_000000_1 is done",
+        # Near misses — prefix matches, body does not.
+        "Registered ApplicationMaster for nobody",
+        "SDCHECKER START_ALLO no app id here",
+        "Got assigned task x",
+        "Task attempt_12_b_000000_0 is done",
+        # Plain noise.
+        "Starting executor heartbeat thread",
+        "Preparing Local resources",
+        "",
+    ]
+
+    @pytest.mark.parametrize("line", LINES)
+    def test_agrees_on_fixtures(self, line):
+        assert msg.classify_container_line(line) == self._cascade(line)
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.text(st.characters(codec="utf-8", exclude_characters="\n\r"), max_size=80))
+    def test_agrees_on_arbitrary_text(self, line):
+        assert msg.classify_container_line(line) == self._cascade(line)
+
+
+def _scan_first(events, kind):
+    """The pre-index reference semantics: full scan, strict-< tie-break."""
+    best = None
+    for event in events:
+        if event.kind is kind and (best is None or event.timestamp < best.timestamp):
+            best = event
+    return best
+
+
+def _container_event(kind: EventKind, timestamp: float, detail: str = "") -> SchedulingEvent:
+    return SchedulingEvent(
+        kind, timestamp, APP, CONTAINER, CONTAINER, source_class="X", detail=detail
+    )
+
+
+class TestFirstEventIndex:
+    """The O(1) index reproduces the old full-scan semantics exactly."""
+
+    KINDS = [
+        EventKind.CONTAINER_ALLOCATED,
+        EventKind.CONTAINER_ACQUIRED,
+        EventKind.INSTANCE_FIRST_LOG,
+        EventKind.FIRST_TASK,
+    ]
+
+    @settings(max_examples=150, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from(range(4)), st.integers(0, 5)),
+            max_size=24,
+        )
+    )
+    def test_container_trace_matches_scan(self, shape):
+        # Duplicate kinds and timestamp ties are the interesting cases:
+        # the index must return the same *object* the old scan found.
+        trace = ContainerTrace(CONTAINER)
+        for kind_idx, ts in shape:
+            trace.add(_container_event(self.KINDS[kind_idx], float(ts)))
+        for kind in self.KINDS:
+            assert trace.first(kind) is _scan_first(trace.events, kind)
+            expected = _scan_first(trace.events, kind)
+            assert trace.time_of(kind) == (
+                None if expected is None else expected.timestamp
+            )
+
+    def test_index_survives_sort(self):
+        trace = ContainerTrace(CONTAINER)
+        for ts in (5.0, 1.0, 3.0, 1.0):
+            trace.add(_container_event(EventKind.CONTAINER_ALLOCATED, ts))
+        winner = trace.first(EventKind.CONTAINER_ALLOCATED)
+        trace.sort()
+        assert trace.first(EventKind.CONTAINER_ALLOCATED) is winner
+        assert winner.timestamp == 1.0
+
+    def test_prebuilt_event_list_is_indexed(self):
+        events = [
+            _container_event(EventKind.CONTAINER_ALLOCATED, 2.0),
+            _container_event(EventKind.CONTAINER_ALLOCATED, 1.0),
+        ]
+        trace = ContainerTrace(CONTAINER, events=events)
+        assert trace.time_of(EventKind.CONTAINER_ALLOCATED) == 1.0
+
+    def test_application_trace_matches_scan(self):
+        trace = ApplicationTrace(APP)
+        stamps = [(EventKind.APP_SUBMITTED, 4.0), (EventKind.APP_SUBMITTED, 2.0),
+                  (EventKind.APP_ACCEPTED, 2.0), (EventKind.APP_ACCEPTED, 2.0)]
+        for kind, ts in stamps:
+            trace.add(SchedulingEvent(kind, ts, APP, None, "rm"))
+        for kind in (EventKind.APP_SUBMITTED, EventKind.APP_ACCEPTED,
+                     EventKind.APP_FINISHED):
+            assert trace.first(kind) is _scan_first(trace.events, kind)
