@@ -3,7 +3,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-miner bench-paper examples lint clean
+.PHONY: install test bench bench-miner bench-paper examples fuzz-smoke lint clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -21,6 +21,13 @@ bench-paper:
 # baseline); appends a trajectory point to benchmarks/results/BENCH_miner.json.
 bench-miner:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_miner_throughput.py -q -s
+
+# Seeded corruption sweep over the golden corpus: every catalog
+# corruption x seed must leave analyze() crash-free, and the
+# identity-preserving ones byte-identical.  REPRO_BENCH_SMOKE=1 (set
+# here) shrinks the sweep to CI size; unset it for the full 25 seeds.
+fuzz-smoke:
+	REPRO_BENCH_SMOKE=1 PYTHONPATH=src $(PYTHON) -m repro.faults sweep tests/data/golden
 
 examples:
 	$(PYTHON) examples/quickstart.py

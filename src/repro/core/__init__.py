@@ -13,6 +13,7 @@ input is text.
 """
 
 from repro.core.checker import SDChecker
+from repro.core.diagnostics import AppDiagnostics, MiningDiagnostics
 from repro.core.events import EventKind, SchedulingEvent
 from repro.core.decompose import ApplicationDelays, ContainerDelays, decompose
 from repro.core.graph import SchedulingGraph
@@ -25,9 +26,11 @@ from repro.core.timeline import render_timeline
 
 __all__ = [
     "AnalysisReport",
+    "AppDiagnostics",
     "ApplicationDelays",
     "ApplicationTrace",
     "BugFinding",
+    "MiningDiagnostics",
     "ContainerDelays",
     "ContainerTrace",
     "DelaySample",

@@ -7,6 +7,7 @@ from typing import Dict, Union
 
 from repro.core.bugcheck import find_unused_containers
 from repro.core.decompose import decompose
+from repro.core.diagnostics import AppDiagnostics
 from repro.core.graph import SchedulingGraph
 from repro.core.grouping import ApplicationTrace, group_events
 from repro.core.parser import LogMiner
@@ -52,9 +53,32 @@ class SDChecker:
         """Step 3: the scheduling graph of one application."""
         return SchedulingGraph(trace)
 
+    def mine_with_diagnostics(self, source: Union[LogStore, str, Path]):
+        """Step 1 with the tolerance ledger: (events, MiningDiagnostics)."""
+        if self.jobs > 1:
+            return self._miner.mine_parallel_with_diagnostics(source, jobs=self.jobs)
+        return self._miner.mine_with_diagnostics(source)
+
     def analyze(self, source: Union[LogStore, str, Path]) -> AnalysisReport:
-        """The full pipeline: a report over every application found."""
-        traces = self.group(source)
+        """The full pipeline: a report over every application found.
+
+        The degradation contract: this never raises on corrupted input.
+        Unparseable lines are skipped and counted, unbindable events
+        are counted as orphans, and every application the logs mention
+        is decomposed — components whose endpoint events are gone come
+        back explicitly ``None`` and are named in the report's
+        :class:`~repro.core.diagnostics.MiningDiagnostics`.
+        """
+        events, diagnostics = self.mine_with_diagnostics(source)
+        traces = group_events(events, diagnostics=diagnostics)
         apps = [decompose(trace) for trace in traces.values()]
+        for app in apps:
+            diagnostics.apps[app.app_id] = AppDiagnostics(
+                app_id=app.app_id,
+                missing_components=app.missing_components(),
+                skew_warnings=app.skew_warnings(),
+            )
         findings = find_unused_containers(traces)
-        return AnalysisReport(apps=apps, bug_findings=findings)
+        return AnalysisReport(
+            apps=apps, bug_findings=findings, diagnostics=diagnostics
+        )

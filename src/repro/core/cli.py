@@ -92,7 +92,37 @@ def build_arg_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="check the logs for state-order/causality inconsistencies",
     )
+    parser.add_argument(
+        "--diagnostics",
+        action="store_true",
+        help=(
+            "also print the mining diagnostics: per-stream dropped/"
+            "duplicate line counts, unrecognized streams, per-app "
+            "component completeness, clock-skew warnings"
+        ),
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help=(
+            "exit non-zero if the mining pipeline degraded at all "
+            "(dropped lines, unknown streams, orphan events, missing "
+            "delay components, skew warnings)"
+        ),
+    )
     return parser
+
+
+def _strict_rc(args: argparse.Namespace, report) -> int:
+    """0, or 1 when --strict is set and the run was anything but clean."""
+    if not args.strict:
+        return 0
+    diagnostics = report.diagnostics
+    if diagnostics is None or not diagnostics.degraded():
+        return 0
+    if not args.diagnostics:  # not already printed to stdout
+        print(diagnostics.summary(), file=sys.stderr)
+    return 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -144,25 +174,25 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 2
         other = checker.analyze(other_dir)
         print(report.compare(other, label_self="A", label_other="B"))
-        return 0
+        return _strict_rc(args, report)
 
     if args.csv:
         print(f"wrote {report.to_csv(args.csv)}")
-        return 0
+        return _strict_rc(args, report)
 
     if args.containers_csv:
         print(f"wrote {report.containers_to_csv(args.containers_csv)}")
-        return 0
+        return _strict_rc(args, report)
 
     if args.cdf:
         print(report.sample(args.cdf).ascii_cdf())
-        return 0
+        return _strict_rc(args, report)
 
     if args.bug_check:
         for finding in report.bug_findings:
             print(f"{finding.app_id} {finding.describe()}")
         print(f"{len(report.bug_findings)} finding(s)")
-        return 0
+        return _strict_rc(args, report)
 
     if args.metric:
         sample = report.sample(args.metric)
@@ -183,7 +213,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         else:
             print(sample.describe())
             print(f"p{args.percentile:g} = {sample.percentile(args.percentile):.3f}s")
-        return 0
+        return _strict_rc(args, report)
 
     if args.json:
         payload = {
@@ -209,10 +239,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                 for f in report.bug_findings
             ],
         }
+        if args.diagnostics and report.diagnostics is not None:
+            payload["diagnostics"] = report.diagnostics.to_dict()
         print(json.dumps(payload, indent=2))
     else:
         print(report.summary())
-    return 0
+        if args.diagnostics and report.diagnostics is not None:
+            print(report.diagnostics.summary())
+    return _strict_rc(args, report)
 
 
 if __name__ == "__main__":  # pragma: no cover

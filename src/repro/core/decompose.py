@@ -35,7 +35,31 @@ from typing import List, Optional
 from repro.core.events import EventKind
 from repro.core.grouping import ApplicationTrace, ContainerTrace
 
-__all__ = ["ContainerDelays", "ApplicationDelays", "decompose"]
+__all__ = [
+    "ContainerDelays",
+    "ApplicationDelays",
+    "HEADLINE_COMPONENTS",
+    "decompose",
+]
+
+#: Every headline delay component of one application, in the paper's
+#: reporting order.  ``missing_components()`` and the diagnostics'
+#: completeness accounting are defined over exactly this set.
+HEADLINE_COMPONENTS = (
+    "total_delay",
+    "am_delay",
+    "driver_delay",
+    "executor_delay",
+    "in_app_delay",
+    "out_app_delay",
+    "cf_delay",
+    "cl_delay",
+    "allocation_delay",
+    "job_runtime",
+)
+
+#: Per-container components checked for negative (skew-betraying) spans.
+_CONTAINER_COMPONENTS = ("acquisition_delay", "localization_delay", "launching_delay")
 
 
 def _span(start: Optional[float], end: Optional[float]) -> Optional[float]:
@@ -57,6 +81,10 @@ class ContainerDelays:
     launching_delay: Optional[float]
     launched_at: Optional[float]
     first_task_at: Optional[float]
+    #: The container's own log stream was mined (INSTANCE_FIRST_LOG
+    #: seen).  False while the NM reports the container RUNNING means
+    #: the instance log itself was lost or never collected.
+    has_instance_log: bool = True
 
     @classmethod
     def from_trace(cls, trace: ContainerTrace) -> "ContainerDelays":
@@ -77,6 +105,7 @@ class ContainerDelays:
             launching_delay=_span(scheduled, launched),
             launched_at=launched,
             first_task_at=trace.time_of(EventKind.FIRST_TASK),
+            has_instance_log=first_log is not None or running is None,
         )
 
 
@@ -125,6 +154,48 @@ class ApplicationDelays:
             self.driver_delay,
             self.executor_delay,
         )
+
+    def missing_components(self) -> List[str]:
+        """Headline components that could not be measured, in order.
+
+        A component is missing exactly when one of its endpoint events
+        was absent from the logs — truncated away, shipped to a deleted
+        file, or never emitted.  Explicitly-missing beats silently-zero:
+        an incomplete workflow is data, not an error.  Per-container
+        gaps are listed as ``<container_id>.<component>`` so a single
+        lost daemon file still names every loss it caused.
+        """
+        missing = [
+            name for name in HEADLINE_COMPONENTS if getattr(self, name) is None
+        ]
+        for container in self.containers:
+            for name in _CONTAINER_COMPONENTS:
+                if getattr(container, name) is None:
+                    missing.append(f"{container.container_id}.{name}")
+            if not container.has_instance_log:
+                missing.append(f"{container.container_id}.instance_log")
+        return missing
+
+    def skew_warnings(self) -> List[str]:
+        """Negative spans, verbatim: clock skew or stream corruption.
+
+        Decomposition never clamps (section III-C measures what the
+        logs say); these strings let diagnostics surface the suspect
+        values without touching them.
+        """
+        warnings: List[str] = []
+        for name in HEADLINE_COMPONENTS:
+            value = getattr(self, name)
+            if value is not None and value < 0:
+                warnings.append(f"{name}={value:.3f}s")
+        for container in self.containers:
+            for name in _CONTAINER_COMPONENTS:
+                value = getattr(container, name)
+                if value is not None and value < 0:
+                    warnings.append(
+                        f"{container.container_id}.{name}={value:.3f}s"
+                    )
+        return warnings
 
 
 def decompose(trace: ApplicationTrace) -> ApplicationDelays:

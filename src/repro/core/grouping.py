@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
+from repro.core.diagnostics import MiningDiagnostics
 from repro.core.events import EventKind, SchedulingEvent
 from repro.core.messages import instance_type_of_class
 
@@ -167,8 +168,17 @@ class ApplicationTrace:
         ]
 
 
-def group_events(events: Iterable[SchedulingEvent]) -> Dict[str, ApplicationTrace]:
-    """Group mined events into per-application traces, sorted by time."""
+def group_events(
+    events: Iterable[SchedulingEvent],
+    diagnostics: Optional[MiningDiagnostics] = None,
+) -> Dict[str, ApplicationTrace]:
+    """Group mined events into per-application traces, sorted by time.
+
+    Events that bind to no application ID (e.g. a container ID garbled
+    beyond the app-ID derivation) are tolerated — a log miner drops
+    what it cannot bind — but counted in ``diagnostics`` when given,
+    so the loss is visible instead of silent.
+    """
     traces: Dict[str, ApplicationTrace] = {}
     orphans = 0
     for event in events:
@@ -176,7 +186,8 @@ def group_events(events: Iterable[SchedulingEvent]) -> Dict[str, ApplicationTrac
             orphans += 1
             continue
         traces.setdefault(event.app_id, ApplicationTrace(event.app_id)).add(event)
-    del orphans  # tolerated: a log miner drops what it cannot bind
+    if diagnostics is not None:
+        diagnostics.orphan_events += orphans
     for trace in traces.values():
         trace.sort()
     return traces

@@ -11,8 +11,8 @@ assigned task" line.
 The pipeline is streaming and embarrassingly parallel:
 
 * streams are consumed as iterators (:meth:`LogStore.iter_records` in
-  memory, :func:`iter_file_records` chunked off disk), so corpus size
-  never bounds memory;
+  memory, :func:`iter_segment_records` chunked off disk with rotation
+  segments merged chronologically), so corpus size never bounds memory;
 * each line pays one literal prefix test and at most one precompiled
   alternation match (:func:`repro.core.messages.classify_container_line`
   and the prefix gates) instead of a cascade of regex searches;
@@ -20,28 +20,45 @@ The pipeline is streaming and embarrassingly parallel:
   :class:`~concurrent.futures.ProcessPoolExecutor` and concatenates the
   per-daemon results in sorted-daemon order — the same order serial
   mining uses — so its output is byte-identical to :meth:`LogMiner.mine`.
+
+Mining is also *accounted*: :meth:`LogMiner.mine_with_diagnostics`
+returns a :class:`~repro.core.diagnostics.MiningDiagnostics` alongside
+the events, counting per stream what the readers dropped (garbled
+lines, drifted timestamps, invalid bytes), which streams no dispatch
+rule recognized, and how many consecutive duplicate records an
+at-least-once log shipper injected.  A miner that skips silently turns
+measurement error into invisible bias; this one keeps the ledger.
 """
 
 from __future__ import annotations
 
 import itertools
 from concurrent.futures import ProcessPoolExecutor
+from dataclasses import replace
 from pathlib import Path
 from typing import Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.core import messages as msg
+from repro.core.diagnostics import MiningDiagnostics
 from repro.core.events import EventKind, SchedulingEvent
+from repro.logsys.diagnostics import StreamDiagnostics
 from repro.logsys.record import LogRecord
-from repro.logsys.store import LogStore, directory_glob, iter_file_records
+from repro.logsys.store import LogStore, iter_segment_records, stream_segments
 
 __all__ = ["LogMiner"]
 
 _CONTAINER_DAEMON_RE = msg.CONTAINER_ID_RE
 
-#: A unit of parallel work: the daemon name plus either its in-memory
-#: records or the path of its log file (workers then stream the file
-#: themselves, so record lists never cross the process boundary twice).
-_StreamTask = Tuple[str, Optional[Tuple[LogRecord, ...]], Optional[str]]
+#: A unit of parallel work: the daemon name, either its in-memory
+#: records or the paths of its rotation segments (workers then stream
+#: the files themselves, so record lists never cross the process
+#: boundary twice), and the reader diagnostics accumulated so far.
+_StreamTask = Tuple[
+    str,
+    Optional[Tuple[LogRecord, ...]],
+    Optional[Tuple[str, ...]],
+    Optional[StreamDiagnostics],
+]
 
 
 class LogMiner:
@@ -49,15 +66,30 @@ class LogMiner:
 
     def mine(self, source: Union[LogStore, str, Path]) -> List[SchedulingEvent]:
         """All scheduling events, in per-stream log order."""
+        return self.mine_with_diagnostics(source)[0]
+
+    def mine_with_diagnostics(
+        self, source: Union[LogStore, str, Path]
+    ) -> Tuple[List[SchedulingEvent], MiningDiagnostics]:
+        """:meth:`mine` plus the per-stream tolerance ledger."""
         events: List[SchedulingEvent] = []
-        for daemon, records in self._streams_of(source):
-            events.extend(self._mine_stream(daemon, records))
-        return events
+        diagnostics = MiningDiagnostics()
+        for task in self._stream_tasks(source):
+            stream_events, stream_diag = _mine_stream_task(task)
+            events.extend(stream_events)
+            diagnostics.streams[stream_diag.daemon] = stream_diag
+        return events, diagnostics
 
     def mine_parallel(
         self, source: Union[LogStore, str, Path], jobs: int = 2
     ) -> List[SchedulingEvent]:
-        """:meth:`mine`, fanned out over ``jobs`` worker processes.
+        """:meth:`mine`, fanned out over ``jobs`` worker processes."""
+        return self.mine_parallel_with_diagnostics(source, jobs=jobs)[0]
+
+    def mine_parallel_with_diagnostics(
+        self, source: Union[LogStore, str, Path], jobs: int = 2
+    ) -> Tuple[List[SchedulingEvent], MiningDiagnostics]:
+        """:meth:`mine_with_diagnostics` over ``jobs`` worker processes.
 
         Daemon streams are independent, so each worker mines a subset
         and the results are concatenated in sorted-daemon order — the
@@ -74,40 +106,64 @@ class LogMiner:
                 # Executor.map preserves input order: the merge is
                 # deterministic no matter which worker finishes first.
                 results = list(pool.map(_mine_stream_task, tasks, chunksize=chunksize))
-        return [event for stream_events in results for event in stream_events]
+        events = [event for stream_events, _diag in results for event in stream_events]
+        diagnostics = MiningDiagnostics()
+        for _events, stream_diag in results:
+            diagnostics.streams[stream_diag.daemon] = stream_diag
+        return events, diagnostics
 
     # -- stream enumeration ------------------------------------------------
-    def _streams_of(
-        self, source: Union[LogStore, str, Path]
-    ) -> Iterator[Tuple[str, Iterable[LogRecord]]]:
-        """(daemon, lazily-iterable records) in sorted daemon order."""
-        if isinstance(source, LogStore):
-            for daemon in source.daemons:
-                yield daemon, source.iter_records(daemon)
-        else:
-            for path in sorted(directory_glob(source), key=lambda p: p.stem):
-                yield path.stem, iter_file_records(path)
-
     def _stream_tasks(self, source: Union[LogStore, str, Path]) -> List[_StreamTask]:
-        """Picklable per-daemon work items, in sorted daemon order."""
+        """Picklable per-daemon work items, in sorted daemon order.
+
+        For an in-memory store, the reader-side diagnostics are a copy
+        of what :meth:`LogStore.load` recorded (or a synthesized clean
+        ledger — records built in memory were well-formed by
+        construction), so repeated mining never double-counts.
+        """
         if isinstance(source, LogStore):
-            return [(d, source.records(d), None) for d in source.daemons]
+            tasks: List[_StreamTask] = []
+            for daemon in source.daemons:
+                records = source.records(daemon)
+                base = source.stream_diagnostics.get(daemon)
+                if base is not None:
+                    diagnostics = replace(
+                        base, duplicate_records=0, out_of_order=0, recognized=True
+                    )
+                else:
+                    diagnostics = StreamDiagnostics(
+                        daemon=daemon,
+                        lines_total=len(records),
+                        records_parsed=len(records),
+                    )
+                tasks.append((daemon, records, None, diagnostics))
+            return tasks
         return [
-            (path.stem, None, str(path))
-            for path in sorted(directory_glob(source), key=lambda p: p.stem)
+            (daemon, None, tuple(str(p) for p in paths), None)
+            for daemon, paths in stream_segments(source)
         ]
 
     def _mine_stream(
-        self, daemon: str, records: Iterable[LogRecord]
+        self,
+        daemon: str,
+        records: Iterable[LogRecord],
+        diagnostics: Optional[StreamDiagnostics] = None,
     ) -> List[SchedulingEvent]:
         """Dispatch one stream to its miner by daemon-name shape."""
+        if diagnostics is not None:
+            records = _observe_duplicates(records, diagnostics)
         if _CONTAINER_DAEMON_RE.match(daemon):
             return self._mine_container_stream(daemon, records)
         if daemon.startswith("hadoop-resourcemanager"):
             return self._mine_rm_stream(daemon, records)
         if daemon.startswith("hadoop-nodemanager"):
             return self._mine_nm_stream(daemon, records)
-        # Unknown streams are ignored — a miner must tolerate noise.
+        # Unknown streams are ignored — a miner must tolerate noise —
+        # but the diagnostics remember that a whole stream was skipped.
+        if diagnostics is not None:
+            diagnostics.recognized = False
+        for _record in records:  # drain so reader-side counters fill
+            pass
         return []
 
     # -- per-stream miners ------------------------------------------------------
@@ -222,9 +278,40 @@ class LogMiner:
         return events
 
 
-def _mine_stream_task(task: _StreamTask) -> List[SchedulingEvent]:
+def _observe_duplicates(
+    records: Iterable[LogRecord], diagnostics: StreamDiagnostics
+) -> Iterator[LogRecord]:
+    """Pass records through, counting duplicates and backwards steps.
+
+    At-least-once log shippers re-deliver lines verbatim; downstream
+    grouping is immune (first-occurrence-by-kind), but the count is the
+    evidence a user needs to distrust event *multiplicities*.  A
+    timestamp going backwards (reorder jitter, clock trouble) is counted
+    for the same reason: first-occurrence timestamps survive any
+    within-stream reorder, but *positional* events (the stream's first
+    line) do not, so the ledger must flag disordered streams.
+    """
+    previous: Optional[LogRecord] = None
+    for record in records:
+        if previous is not None:
+            if record == previous:
+                diagnostics.duplicate_records += 1
+            elif record.timestamp < previous.timestamp:
+                diagnostics.out_of_order += 1
+        previous = record
+        yield record
+
+
+def _mine_stream_task(
+    task: _StreamTask,
+) -> Tuple[List[SchedulingEvent], StreamDiagnostics]:
     """Worker entry point: mine one daemon stream (module-level for pickling)."""
-    daemon, records, path = task
+    daemon, records, paths, diagnostics = task
+    if diagnostics is None:
+        diagnostics = StreamDiagnostics(daemon=daemon)
     if records is None:
-        records = iter_file_records(Path(path))
-    return LogMiner()._mine_stream(daemon, records)
+        records = iter_segment_records(
+            [Path(p) for p in paths], diagnostics=diagnostics
+        )
+    events = LogMiner()._mine_stream(daemon, records, diagnostics)
+    return events, diagnostics

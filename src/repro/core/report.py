@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Union
 
 from repro.core.bugcheck import BugFinding
 from repro.core.decompose import ApplicationDelays
+from repro.core.diagnostics import MiningDiagnostics
 from repro.core.stats import DelaySample
 
 __all__ = ["AnalysisReport"]
@@ -40,6 +41,12 @@ class AnalysisReport:
 
     apps: List[ApplicationDelays]
     bug_findings: List[BugFinding] = field(default_factory=list)
+    #: The tolerance ledger of the run that produced this report (what
+    #: the miner dropped, skipped, or could not bind).  Deliberately
+    #: excluded from :meth:`summary` / :meth:`to_csv` so that reports
+    #: over identity-equivalent corpora stay byte-identical; rendered
+    #: only on request (``--diagnostics`` / ``--strict``).
+    diagnostics: Optional[MiningDiagnostics] = None
 
     def __post_init__(self) -> None:
         self.apps = sorted(self.apps, key=lambda a: a.app_id)
@@ -129,6 +136,48 @@ class AnalysisReport:
         return {k: v for k, v in out.items() if v == v}
 
     # -- export ---------------------------------------------------------------------
+    def to_dict(self, include_diagnostics: bool = False) -> Dict[str, object]:
+        """The whole report as plain JSON-serializable data.
+
+        One entry per application (headline metrics plus per-container
+        components) and the bug findings; the diagnostics ledger is
+        included only on request so identity-equivalent corpora stay
+        byte-identical by default.
+        """
+        payload: Dict[str, object] = {
+            "applications": [
+                {
+                    "app_id": app.app_id,
+                    **{metric: getattr(app, metric) for metric in METRICS},
+                    "cl_cf_delay": app.cl_cf_delay,
+                    "normalized_total": app.normalized_total,
+                    "containers": [
+                        {
+                            "container_id": c.container_id,
+                            "is_am": c.is_application_master,
+                            "instance_type": c.instance_type,
+                            "acquisition_delay": c.acquisition_delay,
+                            "localization_delay": c.localization_delay,
+                            "launching_delay": c.launching_delay,
+                        }
+                        for c in app.containers
+                    ],
+                }
+                for app in self.apps
+            ],
+            "bug_findings": [
+                {
+                    "app_id": f.app_id,
+                    "container_id": f.container_id,
+                    "category": f.category,
+                }
+                for f in self.bug_findings
+            ],
+        }
+        if include_diagnostics and self.diagnostics is not None:
+            payload["diagnostics"] = self.diagnostics.to_dict()
+        return payload
+
     def to_csv(self, path: Union[str, Path]) -> Path:
         """Write one row per application with every headline metric."""
         path = Path(path)

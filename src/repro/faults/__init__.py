@@ -1,0 +1,48 @@
+"""Log-corruption fault injection for certifying the mining pipeline.
+
+Every log SDchecker had ever seen before this package came from our own
+simulator: well-formed, complete, UTF-8, one daemon per file.  Real
+cluster logs — the paper's actual input — are truncated mid-line by
+crashes, split across files by rotation, duplicated by at-least-once
+shippers, interleaved with multi-line stack traces, and drift formats
+when operators touch log4j configs.  ``repro.faults`` is a
+deterministic, seeded catalog of exactly those corruptions, applied to
+a dumped log directory, so every release of the miner can be certified
+against imperfect traces instead of just clean ones.
+
+Two corruption classes, two guarantees:
+
+* **identity-preserving** corruptions (line duplication, non-Table-I
+  noise, rotation splits) must leave the analysis report
+  *byte-identical* to the clean corpus — the miner's first-occurrence
+  semantics, noise rejection, and rotation merging absorb them;
+* **degrading** corruptions (truncation, reordering, invalid bytes,
+  deleted files, format drift) may lose information, but
+  :meth:`repro.core.checker.SDChecker.analyze` must never raise: every
+  loss is skipped, counted, and named in the report's
+  :class:`~repro.core.diagnostics.MiningDiagnostics`.
+
+``python -m repro.faults sweep <logdir>`` runs the certification sweep
+(``make fuzz-smoke`` wires it into CI).
+"""
+
+from repro.faults.catalog import (
+    CATALOG,
+    Corruption,
+    CorruptionReceipt,
+    degradation_names,
+    identity_names,
+    make_corruption,
+)
+from repro.faults.inject import FaultInjector, corrupt_copy
+
+__all__ = [
+    "CATALOG",
+    "Corruption",
+    "CorruptionReceipt",
+    "FaultInjector",
+    "corrupt_copy",
+    "degradation_names",
+    "identity_names",
+    "make_corruption",
+]

@@ -1,0 +1,8 @@
+"""Entry point so ``python -m repro.faults`` runs the fault-injection CLI."""
+
+import sys
+
+from repro.faults.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,155 @@
+"""Applying corruptions to log directories, and the certification sweep.
+
+:class:`FaultInjector` is the seeded driver: it owns one
+:class:`~repro.simul.distributions.RandomSource` root and derives an
+independent named substream per corruption, so adding or reordering
+catalog entries never perturbs the bytes another corruption produces.
+
+:func:`sweep` is the release gate behind ``make fuzz-smoke``: for every
+(corruption, seed) pair it corrupts a scratch copy of a clean corpus,
+runs :meth:`SDChecker.analyze <repro.core.checker.SDChecker.analyze>`,
+and checks the two contracts — *never crash*, and for
+identity-preserving corruptions *byte-identical report*.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Union
+
+from repro.core.checker import SDChecker
+from repro.faults.catalog import CATALOG, Corruption, CorruptionReceipt, make_corruption
+from repro.simul.distributions import RandomSource
+
+__all__ = ["FaultInjector", "SweepResult", "corrupt_copy", "sweep"]
+
+
+class FaultInjector:
+    """Apply a list of corruptions to a log directory, deterministically.
+
+    The same ``(seed, corruption list)`` always rewrites the directory
+    into the same bytes; each corruption draws from its own substream
+    keyed by position and name.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._root = RandomSource(seed, name="faults")
+
+    def inject(
+        self,
+        logdir: Union[str, Path],
+        corruptions: Iterable[Union[str, Corruption]],
+    ) -> List[CorruptionReceipt]:
+        """Corrupt ``logdir`` in place; returns one receipt per corruption."""
+        logdir = Path(logdir)
+        receipts = []
+        occurrence: dict = {}
+        for corruption in corruptions:
+            if isinstance(corruption, str):
+                corruption = make_corruption(corruption)
+            # Substreams are keyed by (name, occurrence-of-that-name),
+            # never by list position: prepending a different corruption
+            # must not perturb the bytes this one produces.
+            nth = occurrence.get(corruption.name, 0)
+            occurrence[corruption.name] = nth + 1
+            rng = self._root.child(f"{corruption.name}.{nth}")
+            receipts.append(corruption.apply(logdir, rng))
+        return receipts
+
+
+def corrupt_copy(
+    clean_dir: Union[str, Path],
+    out_dir: Union[str, Path],
+    corruptions: Iterable[Union[str, Corruption]],
+    seed: int = 0,
+) -> List[CorruptionReceipt]:
+    """Copy ``clean_dir`` to ``out_dir`` and corrupt the copy."""
+    clean_dir, out_dir = Path(clean_dir), Path(out_dir)
+    shutil.copytree(clean_dir, out_dir, dirs_exist_ok=True)
+    return FaultInjector(seed).inject(out_dir, corruptions)
+
+
+@dataclass
+class SweepResult:
+    """Outcome of one (corruption, seed) certification cell."""
+
+    corruption: str
+    seed: int
+    #: analyze() completed without raising — the universal contract.
+    crashed: bool = False
+    error: str = ""
+    #: For identity-preserving corruptions only: report bytes matched
+    #: the clean corpus (None for degradation corruptions).
+    identity_ok: Optional[bool] = None
+    #: The diagnostics ledger admitted degradation.
+    degraded: bool = False
+    receipts: List[CorruptionReceipt] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        """The cell's verdict under the two-contract rule."""
+        return not self.crashed and self.identity_ok is not False
+
+    def describe(self) -> str:
+        verdict = "PASS" if self.passed else "FAIL"
+        extras = []
+        if self.crashed:
+            extras.append(f"crashed: {self.error}")
+        if self.identity_ok is False:
+            extras.append("report diverged from clean corpus")
+        if self.degraded:
+            extras.append("degraded (accounted)")
+        tail = f" [{'; '.join(extras)}]" if extras else ""
+        return f"{verdict} {self.corruption} seed={self.seed}{tail}"
+
+
+def _report_fingerprint(report) -> str:
+    """The byte-identity oracle: summary + full export, no diagnostics."""
+    return report.summary() + "\n" + json.dumps(report.to_dict(), sort_keys=True)
+
+
+def sweep(
+    clean_dir: Union[str, Path],
+    seeds: Sequence[int],
+    names: Optional[Sequence[str]] = None,
+    jobs: int = 1,
+) -> List[SweepResult]:
+    """Certify the mining pipeline against the corruption catalog.
+
+    Runs every named corruption at every seed against a scratch copy of
+    ``clean_dir``.  ``jobs`` is forwarded to :class:`SDChecker`, so the
+    sweep can certify the parallel mining path as well as the serial
+    one.
+    """
+    clean_dir = Path(clean_dir)
+    if names is None:
+        names = sorted(CATALOG)
+    checker = SDChecker(jobs=jobs)
+    clean_fingerprint = _report_fingerprint(checker.analyze(clean_dir))
+    results = []
+    for name in names:
+        identity = CATALOG[name].identity_preserving
+        for seed in seeds:
+            result = SweepResult(corruption=name, seed=seed)
+            with tempfile.TemporaryDirectory(prefix="sdfaults-") as scratch:
+                out = Path(scratch) / "logs"
+                result.receipts = corrupt_copy(clean_dir, out, [name], seed=seed)
+                try:
+                    report = checker.analyze(out)
+                except Exception as exc:  # the contract is: this never happens
+                    result.crashed = True
+                    result.error = f"{type(exc).__name__}: {exc}"
+                else:
+                    if report.diagnostics is not None:
+                        result.degraded = report.diagnostics.degraded()
+                    if identity:
+                        result.identity_ok = (
+                            _report_fingerprint(report) == clean_fingerprint
+                        )
+            results.append(result)
+    return results

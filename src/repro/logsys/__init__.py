@@ -12,13 +12,16 @@ round-tripped through plain ``.log`` text files so that SDchecker always
 operates on rendered text, never on simulator internals.
 """
 
+from repro.logsys.diagnostics import StreamDiagnostics
 from repro.logsys.record import LogRecord, format_timestamp, parse_timestamp
-from repro.logsys.store import DaemonLogger, LogStore
+from repro.logsys.store import DaemonLogger, LogStore, stream_segments
 
 __all__ = [
     "DaemonLogger",
     "LogRecord",
     "LogStore",
+    "StreamDiagnostics",
     "format_timestamp",
     "parse_timestamp",
+    "stream_segments",
 ]

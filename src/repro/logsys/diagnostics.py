@@ -1,0 +1,104 @@
+"""Per-stream reading diagnostics.
+
+Real cluster logs are imperfect: crashes truncate the final line,
+rotation splits a daemon's stream across files, shippers duplicate
+lines, and operators change log4j layouts mid-run.  The readers in
+:mod:`repro.logsys.store` never raise on any of that — they skip what
+they cannot parse — but *silently* skipping would turn measurement
+error into invisible bias.  :class:`StreamDiagnostics` is the per-stream
+ledger of everything a reader tolerated, aggregated by the miner into
+:class:`repro.core.diagnostics.MiningDiagnostics`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+__all__ = ["StreamDiagnostics"]
+
+
+@dataclass
+class StreamDiagnostics:
+    """What one daemon stream's reader saw, kept, and dropped."""
+
+    daemon: str
+    #: Rotation segments merged into this stream (1 for an unrotated file).
+    segments: int = 1
+    #: Physical text lines seen (parseable or not).
+    lines_total: int = 0
+    #: Lines that parsed into a :class:`~repro.logsys.record.LogRecord`.
+    records_parsed: int = 0
+    #: Lines that did not look like a log4j line at all (stack traces,
+    #: wrapped output, truncated records, garbled bytes).
+    dropped_garbled: int = 0
+    #: Lines with the log4j shape whose timestamp failed to parse
+    #: (format drift: wrong month, drifted layout that still matched).
+    dropped_bad_timestamp: int = 0
+    #: Lines containing U+FFFD, i.e. invalid UTF-8 bytes replaced by the
+    #: tolerant decoder.
+    encoding_replacements: int = 0
+    #: Consecutive identical records suppressed as at-least-once shipper
+    #: duplicates (counted by the miner, not the reader).
+    duplicate_records: int = 0
+    #: Records whose timestamp went *backwards* relative to the previous
+    #: record of the stream — reorder jitter or clock trouble (counted
+    #: by the miner, not the reader).
+    out_of_order: int = 0
+    #: False when the daemon name matched no miner dispatch rule — the
+    #: whole stream was ignored as noise.
+    recognized: bool = True
+
+    @property
+    def lines_dropped(self) -> int:
+        """Every line the reader skipped, for any reason."""
+        return self.dropped_garbled + self.dropped_bad_timestamp
+
+    def degraded(self) -> bool:
+        """True when this stream lost or ignored any information."""
+        return bool(
+            self.lines_dropped or self.encoding_replacements or not self.recognized
+        )
+
+    def notes(self) -> List[str]:
+        """Human-readable degradation notes (empty for a clean stream)."""
+        out: List[str] = []
+        if not self.recognized:
+            out.append("unrecognized daemon name; stream ignored")
+        if self.dropped_garbled:
+            out.append(f"{self.dropped_garbled} unparseable line(s) skipped")
+        if self.dropped_bad_timestamp:
+            out.append(
+                f"{self.dropped_bad_timestamp} line(s) with unparseable "
+                "timestamps skipped"
+            )
+        if self.encoding_replacements:
+            out.append(
+                f"{self.encoding_replacements} line(s) contained invalid "
+                "UTF-8 bytes (replaced)"
+            )
+        if self.duplicate_records:
+            out.append(
+                f"{self.duplicate_records} consecutive duplicate record(s)"
+            )
+        if self.out_of_order:
+            out.append(
+                f"{self.out_of_order} record(s) with backwards timestamps"
+            )
+        if self.segments > 1:
+            out.append(f"merged from {self.segments} rotation segment(s)")
+        return out
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "daemon": self.daemon,
+            "segments": self.segments,
+            "lines_total": self.lines_total,
+            "records_parsed": self.records_parsed,
+            "dropped_garbled": self.dropped_garbled,
+            "dropped_bad_timestamp": self.dropped_bad_timestamp,
+            "encoding_replacements": self.encoding_replacements,
+            "duplicate_records": self.duplicate_records,
+            "out_of_order": self.out_of_order,
+            "recognized": self.recognized,
+        }

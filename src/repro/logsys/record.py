@@ -13,7 +13,24 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass, field
 
-__all__ = ["LogRecord", "format_timestamp", "parse_timestamp", "EPOCH_LABEL"]
+__all__ = [
+    "LogRecord",
+    "format_timestamp",
+    "parse_timestamp",
+    "EPOCH_LABEL",
+    "PARSE_OK",
+    "PARSE_GARBLED",
+    "PARSE_BAD_TIMESTAMP",
+]
+
+#: Outcomes of :meth:`LogRecord.classify_parse`.
+PARSE_OK = "ok"
+#: The line does not have the log4j shape at all (stack trace, wrapped
+#: output, truncation, garbled bytes).
+PARSE_GARBLED = "garbled"
+#: The line has the log4j shape but its timestamp cannot be interpreted
+#: (format drift — e.g. a date outside the simulated epoch month).
+PARSE_BAD_TIMESTAMP = "bad-timestamp"
 
 #: Rendered date for simulation time zero.  Any fixed date works; we pick
 #: one in the paper's submission year for flavour.
@@ -76,18 +93,36 @@ class LogRecord:
         return f"{format_timestamp(self.timestamp)} {self.level} {self.cls}: {self.message}"
 
     @classmethod
-    def parse(cls, line: str) -> "LogRecord":
-        """Parse a rendered log4j line; raises ValueError on mismatch."""
+    def classify_parse(cls, line: str) -> "tuple[LogRecord | None, str]":
+        """Parse one line, reporting *why* when it cannot be parsed.
+
+        Returns ``(record, PARSE_OK)`` for a well-formed line, and
+        ``(None, PARSE_GARBLED | PARSE_BAD_TIMESTAMP)`` otherwise.  The
+        distinction feeds :class:`~repro.logsys.diagnostics.StreamDiagnostics`:
+        garbled lines are expected noise (stack traces), bad timestamps
+        signal layout drift a user should know about.  Never raises.
+        """
         m = _LINE_RE.match(line.rstrip("\n"))
         if m is None:
-            raise ValueError(f"unparseable log line: {line!r}")
-        ts = parse_timestamp(m["date"], m["time"], m["millis"])
-        return cls(timestamp=ts, cls=m["cls"], message=m["message"], level=m["level"])
+            return None, PARSE_GARBLED
+        try:
+            ts = parse_timestamp(m["date"], m["time"], m["millis"])
+        except ValueError:
+            return None, PARSE_BAD_TIMESTAMP
+        return (
+            cls(timestamp=ts, cls=m["cls"], message=m["message"], level=m["level"]),
+            PARSE_OK,
+        )
+
+    @classmethod
+    def parse(cls, line: str) -> "LogRecord":
+        """Parse a rendered log4j line; raises ValueError on mismatch."""
+        record, outcome = cls.classify_parse(line)
+        if record is None:
+            raise ValueError(f"unparseable log line ({outcome}): {line!r}")
+        return record
 
     @classmethod
     def try_parse(cls, line: str) -> "LogRecord | None":
         """Parse, returning None for non-log lines (stack traces etc.)."""
-        try:
-            return cls.parse(line)
-        except ValueError:
-            return None
+        return cls.classify_parse(line)[0]

@@ -17,26 +17,43 @@ call.
 
 from __future__ import annotations
 
+import re
 from pathlib import Path
-from typing import Callable, Dict, Iterable, Iterator, List, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
-from repro.logsys.record import LogRecord
+from repro.logsys.diagnostics import StreamDiagnostics
+from repro.logsys.record import PARSE_BAD_TIMESTAMP, LogRecord
 
-__all__ = ["DaemonLogger", "LogStore", "iter_file_lines", "iter_file_records"]
+__all__ = [
+    "DaemonLogger",
+    "LogStore",
+    "iter_file_lines",
+    "iter_file_records",
+    "iter_segment_records",
+    "stream_segments",
+    "directory_glob",
+]
 
 #: Default read size for the chunked file reader: large enough to
 #: amortize syscalls, small enough to keep memory flat on huge logs.
 _CHUNK_SIZE = 1 << 16
+
+#: ``<daemon>.log`` (live) or ``<daemon>.log.N`` (rotated segment, the
+#: log4j RollingFileAppender convention: higher N is older).
+_SEGMENT_RE = re.compile(r"^(?P<daemon>.+)\.log(?:\.(?P<index>\d+))?$")
 
 
 def iter_file_lines(path: str | Path, chunk_size: int = _CHUNK_SIZE) -> Iterator[str]:
     """Yield the text lines of ``path`` reading fixed-size chunks.
 
     Equivalent to ``path.read_text().splitlines()`` but with O(chunk)
-    memory: the file is never fully materialized.
+    memory: the file is never fully materialized.  Invalid UTF-8 bytes
+    (a crashed writer, bit rot, a truncated multi-byte character) are
+    replaced with U+FFFD instead of raising — real log collections are
+    not guaranteed to decode cleanly.
     """
     tail = ""
-    with open(path, "r", encoding="utf-8") as handle:
+    with open(path, "r", encoding="utf-8", errors="replace") as handle:
         while True:
             chunk = handle.read(chunk_size)
             if not chunk:
@@ -50,17 +67,70 @@ def iter_file_lines(path: str | Path, chunk_size: int = _CHUNK_SIZE) -> Iterator
 
 
 def iter_file_records(
-    path: str | Path, chunk_size: int = _CHUNK_SIZE
+    path: str | Path,
+    chunk_size: int = _CHUNK_SIZE,
+    diagnostics: Optional[StreamDiagnostics] = None,
 ) -> Iterator[LogRecord]:
     """Yield the parseable :class:`LogRecord` lines of one log file.
 
-    Unparseable lines (stack traces, wrapped output) are skipped, as a
-    log miner must.
+    Unparseable lines (stack traces, wrapped output, a final record
+    truncated by a crash) are skipped, as a log miner must.  When a
+    :class:`StreamDiagnostics` is passed, every skipped line is counted
+    there by reason instead of disappearing silently.
     """
     for line in iter_file_lines(path, chunk_size):
-        record = LogRecord.try_parse(line)
+        record, outcome = LogRecord.classify_parse(line)
+        if diagnostics is not None:
+            diagnostics.lines_total += 1
+            if "�" in line:
+                diagnostics.encoding_replacements += 1
+            if record is not None:
+                diagnostics.records_parsed += 1
+            elif outcome == PARSE_BAD_TIMESTAMP:
+                diagnostics.dropped_bad_timestamp += 1
+            else:
+                diagnostics.dropped_garbled += 1
         if record is not None:
             yield record
+
+
+def iter_segment_records(
+    paths: Sequence[str | Path],
+    chunk_size: int = _CHUNK_SIZE,
+    diagnostics: Optional[StreamDiagnostics] = None,
+) -> Iterator[LogRecord]:
+    """Yield the records of one stream's rotation segments, oldest first."""
+    if diagnostics is not None:
+        diagnostics.segments = max(1, len(paths))
+    for path in paths:
+        yield from iter_file_records(path, chunk_size, diagnostics)
+
+
+def stream_segments(directory: str | Path) -> List[Tuple[str, List[Path]]]:
+    """The log streams of one directory, with rotation segments merged.
+
+    Returns ``(daemon, [segment paths in chronological order])`` pairs
+    sorted by daemon name.  A stream rotated by log4j's
+    RollingFileAppender is ``<daemon>.log.N`` (oldest) down through
+    ``<daemon>.log.1`` and finally the live ``<daemon>.log``; reading
+    the segments in that order reconstructs the original stream.
+    """
+    groups: Dict[str, List[Tuple[int, Path]]] = {}
+    for path in Path(directory).iterdir():
+        if not path.is_file():
+            continue
+        m = _SEGMENT_RE.match(path.name)
+        if m is None:
+            continue
+        # Live files (no index) sort after every rotated segment; rotated
+        # segments sort highest-index (oldest) first.
+        index = -1 if m["index"] is None else int(m["index"])
+        groups.setdefault(m["daemon"], []).append((index, path))
+    out: List[Tuple[str, List[Path]]] = []
+    for daemon in sorted(groups):
+        segments = sorted(groups[daemon], key=lambda item: item[0], reverse=True)
+        out.append((daemon, [path for _index, path in segments]))
+    return out
 
 
 class DaemonLogger:
@@ -94,6 +164,10 @@ class LogStore:
         #: daemon -> cached immutable view, invalidated by append().
         self._views: Dict[str, Tuple[LogRecord, ...]] = {}
         self._sealed = False
+        #: daemon -> what :meth:`load` tolerated while reading that
+        #: stream off disk.  Empty for stores built in memory, where
+        #: every record arrived well-formed by construction.
+        self.stream_diagnostics: Dict[str, StreamDiagnostics] = {}
 
     # -- writing ---------------------------------------------------------
     def logger(self, daemon: str, clock: Callable[[], float]) -> DaemonLogger:
@@ -182,29 +256,46 @@ class LogStore:
 
     @classmethod
     def load(cls, directory: str | Path) -> "LogStore":
-        """Read every ``*.log`` file in ``directory`` back into a store.
+        """Read every log stream in ``directory`` back into a store.
 
-        Unparseable lines (stack traces, wrapped output) are skipped, as
-        a log miner must.  A file with no parseable lines still registers
-        its (empty) stream, and the returned store is sealed — the files
-        on disk are the complete run.
+        Rotated segments (``<daemon>.log.N``) are merged into their
+        stream in chronological order.  Unparseable lines (stack traces,
+        wrapped output, truncated trailing records, invalid bytes) are
+        skipped and counted in :attr:`stream_diagnostics`, as a log
+        miner must.  A file with no parseable lines still registers its
+        (empty) stream, and the returned store is sealed — the files on
+        disk are the complete run.
         """
         store = cls()
-        for path in sorted(directory_glob(directory), key=lambda p: p.stem):
-            daemon = path.stem
+        for daemon, paths in stream_segments(directory):
             store._streams.setdefault(daemon, [])
-            for record in iter_file_records(path):
+            diagnostics = StreamDiagnostics(daemon=daemon)
+            for record in iter_segment_records(paths, diagnostics=diagnostics):
                 store.append(daemon, record)
+            store.stream_diagnostics[daemon] = diagnostics
         return store.seal()
 
     @classmethod
     def from_lines(cls, named_lines: Iterable[tuple[str, str]]) -> "LogStore":
-        """Build a store from (daemon, text-line) pairs."""
+        """Build a store from (daemon, text-line) pairs.
+
+        Unparseable lines are skipped and counted per stream in
+        :attr:`stream_diagnostics`, mirroring :meth:`load`.
+        """
         store = cls()
         for daemon, line in named_lines:
-            record = LogRecord.try_parse(line)
+            diagnostics = store.stream_diagnostics.setdefault(
+                daemon, StreamDiagnostics(daemon=daemon)
+            )
+            diagnostics.lines_total += 1
+            record, outcome = LogRecord.classify_parse(line)
             if record is not None:
+                diagnostics.records_parsed += 1
                 store.append(daemon, record)
+            elif outcome == PARSE_BAD_TIMESTAMP:
+                diagnostics.dropped_bad_timestamp += 1
+            else:
+                diagnostics.dropped_garbled += 1
         return store
 
 

@@ -1,0 +1,84 @@
+"""Regenerate the golden corpus and its expected-analysis snapshots.
+
+Run from the repository root after an *intentional* change to the
+simulator's log output or to SDchecker's decomposition:
+
+    PYTHONPATH=src python tests/data/regen_golden.py
+
+It rebuilds, fully deterministically:
+
+* ``tests/data/golden/``  — the dumped logs of one TPC-H query run on
+  a 5-node testbed (fixed seeds, fixed dataset name);
+* ``tests/data/golden_expected.json``  — ``AnalysisReport.to_dict()``
+  of the clean corpus;
+* ``tests/data/golden_expected_truncate_tail.json``  — the full export
+  *including diagnostics* after the canned ``truncate-tail`` corruption
+  at seed 0, pinning both the corruption bytes and the degradation
+  accounting.
+
+``tests/test_golden_corpus.py`` asserts the current code still
+reproduces these snapshots; diff any regen before committing it.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import sys
+import tempfile
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+
+
+def build_corpus(logdir: Path) -> None:
+    """One deterministic TPC-H query run, logs dumped to ``logdir``."""
+    from repro.params import GB, SimulationParams
+    from repro.spark.application import SparkApplication
+    from repro.testbed import Testbed
+    from repro.workloads.tpch import TPCHDataset, TPCHQueryWorkload
+
+    bed = Testbed(params=SimulationParams(num_nodes=5), seed=11)
+    dataset = TPCHDataset(2 * GB, name="golden-ds")
+    app = SparkApplication(
+        "golden-q1", TPCHQueryWorkload(dataset, query=1), num_executors=4
+    )
+    bed.submit(app)
+    bed.run_until_all_finished(limit=5000)
+    bed.dump_logs(logdir)
+
+
+def main() -> int:
+    from repro.core.checker import SDChecker
+    from repro.faults import corrupt_copy
+
+    golden = HERE / "golden"
+    if golden.exists():
+        shutil.rmtree(golden)
+    golden.mkdir(parents=True)
+    build_corpus(golden)
+
+    report = SDChecker().analyze(golden)
+    (HERE / "golden_expected.json").write_text(
+        json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n"
+    )
+
+    with tempfile.TemporaryDirectory() as scratch:
+        corrupted = Path(scratch) / "logs"
+        corrupt_copy(golden, corrupted, ["truncate-tail"], seed=0)
+        degraded = SDChecker().analyze(corrupted)
+        (HERE / "golden_expected_truncate_tail.json").write_text(
+            json.dumps(
+                degraded.to_dict(include_diagnostics=True), indent=2, sort_keys=True
+            )
+            + "\n"
+        )
+
+    files = sorted(p.name for p in golden.iterdir())
+    print(f"golden corpus: {len(files)} file(s)")
+    print("snapshots: golden_expected.json, golden_expected_truncate_tail.json")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

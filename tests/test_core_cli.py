@@ -63,3 +63,42 @@ class TestCli:
         live = live_report.sample("total_delay").p50
         dumped = offline.sample("total_delay").p50
         assert dumped == pytest.approx(live, abs=0.002)  # 1 ms log precision
+
+
+class TestDiagnosticsFlags:
+    @pytest.fixture
+    def degraded_logdir(self, logdir, tmp_path):
+        """A copy of the corpus with one drifted (unparseable) line."""
+        import shutil
+
+        out = tmp_path / "logs"
+        shutil.copytree(logdir, out)
+        rm = out / "hadoop-resourcemanager.log"
+        rm.write_text(rm.read_text() + "2018-02-12 00:00:00,000 INFO X: drifted\n")
+        return out
+
+    def test_diagnostics_flag_prints_ledger(self, logdir, capsys):
+        assert main([str(logdir), "--diagnostics"]) == 0
+        assert "Mining diagnostics: clean" in capsys.readouterr().out
+
+    def test_diagnostics_in_json_payload(self, logdir, capsys):
+        assert main([str(logdir), "--json", "--diagnostics"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["diagnostics"]["degraded"] is False
+
+    def test_json_omits_diagnostics_by_default(self, logdir, capsys):
+        assert main([str(logdir), "--json"]) == 0
+        assert "diagnostics" not in json.loads(capsys.readouterr().out)
+
+    def test_strict_passes_on_clean_corpus(self, logdir):
+        assert main([str(logdir), "--strict"]) == 0
+
+    def test_strict_fails_on_degraded_corpus(self, degraded_logdir, capsys):
+        assert main([str(degraded_logdir), "--strict"]) == 1
+        assert "DEGRADED" in capsys.readouterr().err
+
+    def test_strict_with_diagnostics_prints_once(self, degraded_logdir, capsys):
+        assert main([str(degraded_logdir), "--strict", "--diagnostics"]) == 1
+        captured = capsys.readouterr()
+        assert "DEGRADED" in captured.out
+        assert "DEGRADED" not in captured.err

@@ -1,0 +1,201 @@
+"""Metamorphic properties of the mining pipeline under fault injection.
+
+The corruption catalog is the metamorphic relation generator: applying
+an identity-preserving corruption to a corpus must not change the
+analysis report *at all* (byte-identical summary and export, serial and
+parallel alike), while a degrading corruption may change it — but only
+by losses that the diagnostics ledger names, and never by a crash.
+
+Hypothesis drives the injection seeds so every run explores fresh
+corruption placements against the same session-scoped clean corpus.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.checker import SDChecker
+from repro.core.messages import app_id_of_container
+from repro.core.report import METRICS
+from repro.faults import CATALOG, corrupt_copy, degradation_names, identity_names
+
+SEEDS = st.integers(min_value=0, max_value=2**16)
+
+_PROPERTY_SETTINGS = settings(
+    max_examples=6,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+@pytest.fixture(scope="module")
+def clean_corpus(tmp_path_factory, single_app_run):
+    """The session run's logs dumped once, as the metamorphic baseline."""
+    bed, _app, _report = single_app_run
+    path = tmp_path_factory.mktemp("clean-corpus")
+    bed.dump_logs(path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def clean_report(clean_corpus):
+    return SDChecker().analyze(clean_corpus)
+
+
+def _fingerprint(report) -> str:
+    """Byte-identity oracle: human summary plus the full export."""
+    return report.summary() + "\n" + json.dumps(report.to_dict(), sort_keys=True)
+
+
+def _per_app(report):
+    return {
+        app["app_id"]: app for app in report.to_dict()["applications"]
+    }
+
+
+def _affected_apps(receipts, clean_app_ids):
+    """App IDs a corruption could legitimately have perturbed."""
+    affected = set()
+    for receipt in receipts:
+        for daemon in receipt.touched:
+            app_id = app_id_of_container(daemon)
+            if app_id is not None:
+                affected.add(app_id)
+            else:
+                # RM/NM (or any shared) stream: every app is fair game.
+                affected.update(clean_app_ids)
+    return affected
+
+
+class TestIdentityCorruptions:
+    """Duplication, noise, and rotation must be invisible in the report."""
+
+    @pytest.mark.parametrize("name", identity_names())
+    @given(seed=SEEDS)
+    @_PROPERTY_SETTINGS
+    def test_report_byte_identical(self, name, seed, tmp_path_factory, clean_corpus, clean_report):
+        out = tmp_path_factory.mktemp(f"ident-{name}") / "logs"
+        corrupt_copy(clean_corpus, out, [name], seed=seed)
+        report = SDChecker().analyze(out)
+        assert _fingerprint(report) == _fingerprint(clean_report)
+
+    @pytest.mark.parametrize("name", identity_names())
+    def test_parallel_mining_also_identical(self, name, tmp_path, clean_corpus, clean_report):
+        out = tmp_path / "logs"
+        corrupt_copy(clean_corpus, out, [name], seed=1234)
+        report = SDChecker(jobs=4).analyze(out)
+        assert _fingerprint(report) == _fingerprint(clean_report)
+
+    def test_stacked_identity_corruptions(self, tmp_path, clean_corpus, clean_report):
+        """The whole identity subset composed is still invisible."""
+        out = tmp_path / "logs"
+        corrupt_copy(clean_corpus, out, identity_names(), seed=77)
+        report = SDChecker().analyze(out)
+        assert _fingerprint(report) == _fingerprint(clean_report)
+
+
+class TestDegradationContract:
+    """Any catalog corruption: no crash, every loss named."""
+
+    @pytest.mark.parametrize("name", sorted(CATALOG))
+    @given(seed=SEEDS)
+    @_PROPERTY_SETTINGS
+    def test_analyze_never_raises_and_names_losses(
+        self, name, seed, tmp_path_factory, clean_corpus, clean_report
+    ):
+        out = tmp_path_factory.mktemp(f"degr-{name}") / "logs"
+        corrupt_copy(clean_corpus, out, [name], seed=seed)
+        report = SDChecker().analyze(out)  # the contract: never raises
+        diagnostics = report.diagnostics
+        assert diagnostics is not None
+
+        clean_apps = _per_app(clean_report)
+        mined_apps = _per_app(report)
+        for app_id, clean_app in clean_apps.items():
+            # An application can degrade but never silently vanish.
+            assert app_id in mined_apps
+            # Every headline metric that the corruption erased must be
+            # named in the app's completeness diagnostics.
+            app_diag = diagnostics.apps.get(app_id)
+            for metric in METRICS:
+                if mined_apps[app_id][metric] is None and clean_app[metric] is not None:
+                    assert app_diag is not None
+                    assert metric in app_diag.missing_components
+
+        # If the report changed at all, the run must admit degradation.
+        if _fingerprint(report) != _fingerprint(clean_report):
+            assert diagnostics.degraded()
+
+    @pytest.mark.parametrize("name", ["truncate-tail", "truncate-final"])
+    @given(seed=SEEDS)
+    @_PROPERTY_SETTINGS
+    def test_truncation_loses_only_affected_apps(
+        self, name, seed, tmp_path_factory, clean_corpus, clean_report
+    ):
+        """Apps whose streams were untouched decompose identically."""
+        out = tmp_path_factory.mktemp(f"trunc-{name}") / "logs"
+        receipts = corrupt_copy(clean_corpus, out, [name], seed=seed)
+        report = SDChecker().analyze(out)
+
+        clean_apps = _per_app(clean_report)
+        mined_apps = _per_app(report)
+        affected = _affected_apps(receipts, set(clean_apps))
+        for app_id, clean_app in clean_apps.items():
+            if app_id in affected:
+                continue
+            assert mined_apps[app_id] == clean_app
+
+
+class TestDegradationVisibility:
+    """Each degrading corruption's effect shows up in the right counter."""
+
+    def _diag(self, clean_corpus, tmp_path, name, seed=3):
+        out = tmp_path / "logs"
+        corrupt_copy(clean_corpus, out, [name], seed=seed)
+        return SDChecker().analyze(out).diagnostics
+
+    def test_format_drift_counts_dropped_lines(self, tmp_path, clean_corpus):
+        diagnostics = self._diag(clean_corpus, tmp_path, "format-drift")
+        assert diagnostics.lines_dropped > 0
+        bad_ts = sum(
+            s.dropped_bad_timestamp for s in diagnostics.streams.values()
+        )
+        garbled = sum(s.dropped_garbled for s in diagnostics.streams.values())
+        assert bad_ts + garbled == diagnostics.lines_dropped
+
+    def test_invalid_utf8_counts_replacements(self, tmp_path, clean_corpus):
+        diagnostics = self._diag(clean_corpus, tmp_path, "invalid-utf8")
+        assert diagnostics.encoding_replacements > 0
+
+    def test_duplicate_lines_counted_per_stream(self, tmp_path, clean_corpus):
+        diagnostics = self._diag(clean_corpus, tmp_path, "duplicate-lines")
+        assert diagnostics.duplicate_records > 0
+
+    def test_deleted_container_stream_names_missing_components(
+        self, tmp_path, clean_corpus
+    ):
+        """Deleting a container's own log names its instance-log loss."""
+        import shutil
+
+        out = tmp_path / "logs"
+        shutil.copytree(clean_corpus, out)
+        victims = sorted(out.glob("container_*.log"))
+        assert victims, "corpus has no container streams"
+        victim = victims[-1]  # a worker, not the _000001 AM
+        daemon = victim.name[: -len(".log")]
+        victim.unlink()
+        diagnostics = SDChecker().analyze(out).diagnostics
+        assert diagnostics.degraded()
+        assert any(
+            f"{daemon}.instance_log" in ad.missing_components
+            for ad in diagnostics.apps.values()
+        )
+
+    def test_clean_corpus_is_clean(self, clean_report):
+        diagnostics = clean_report.diagnostics
+        assert diagnostics is not None
+        assert not diagnostics.degraded()
+        assert diagnostics.summary().startswith("Mining diagnostics: clean")

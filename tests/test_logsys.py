@@ -3,8 +3,9 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.logsys.diagnostics import StreamDiagnostics
 from repro.logsys.record import LogRecord, format_timestamp, parse_timestamp
-from repro.logsys.store import LogStore
+from repro.logsys.store import LogStore, iter_file_records, stream_segments
 
 
 class TestTimestampFormat:
@@ -117,6 +118,72 @@ class TestLogStore:
         store.logger("a", lambda: 0.0).info("C", "m2")
         daemons = [d for d, _r in store.all_records()]
         assert daemons == ["a", "b"]
+
+
+class TestReaderTolerance:
+    """The readers never raise on imperfect files — they skip and count.
+
+    Regression tests for two crashes the fault-injection catalog
+    exposed: invalid UTF-8 bytes (bit rot, mixed encodings) used to
+    abort :meth:`LogStore.load` with ``UnicodeDecodeError``, and a
+    final record truncated mid-write used to depend on luck.
+    """
+
+    def test_invalid_bytes_are_replaced_not_fatal(self, tmp_path):
+        (tmp_path / "daemon.log").write_bytes(
+            b"2018-01-12 00:00:00,100 INFO A: ok\n"
+            b"2018-01-12 00:00:00,200 INFO B: bit\xfe\xffrot\n"
+            b"2018-01-12 00:00:00,300 INFO C: ok again\n"
+        )
+        store = LogStore.load(tmp_path)  # must not raise
+        records = store.records("daemon")
+        assert [r.cls for r in records] == ["A", "B", "C"]
+        assert "�" in records[1].message
+        diagnostics = store.stream_diagnostics["daemon"]
+        assert diagnostics.encoding_replacements == 1
+
+    def test_truncated_trailing_record_is_skipped(self, tmp_path):
+        complete = "2018-01-12 00:00:00,100 INFO A: first record\n"
+        truncated = "2018-01-12 00:00:00,2"  # crash mid-timestamp, no newline
+        (tmp_path / "daemon.log").write_text(complete + truncated)
+        store = LogStore.load(tmp_path)  # must not raise
+        assert [r.cls for r in store.records("daemon")] == ["A"]
+        diagnostics = store.stream_diagnostics["daemon"]
+        assert diagnostics.lines_total == 2
+        assert diagnostics.records_parsed == 1
+        assert diagnostics.dropped_garbled == 1
+
+    def test_iter_file_records_counts_into_diagnostics(self, tmp_path):
+        path = tmp_path / "d.log"
+        path.write_bytes(
+            b"2018-01-12 00:00:00,100 INFO A: ok\n"
+            b"garbage line\n"
+            b"2018-02-12 00:00:00,100 INFO B: drifted month\n"
+        )
+        diagnostics = StreamDiagnostics(daemon="d")
+        records = list(iter_file_records(path, diagnostics=diagnostics))
+        assert [r.cls for r in records] == ["A"]
+        assert diagnostics.lines_total == 3
+        assert diagnostics.dropped_garbled == 1
+        assert diagnostics.dropped_bad_timestamp == 1
+
+    def test_rotation_segments_merge_oldest_first(self, tmp_path):
+        (tmp_path / "daemon.log.2").write_text(
+            "2018-01-12 00:00:00,100 INFO Old: oldest\n"
+        )
+        (tmp_path / "daemon.log.1").write_text(
+            "2018-01-12 00:00:00,200 INFO Mid: middle\n"
+        )
+        (tmp_path / "daemon.log").write_text(
+            "2018-01-12 00:00:00,300 INFO New: live\n"
+        )
+        streams = stream_segments(tmp_path)
+        assert [(d, [p.name for p in paths]) for d, paths in streams] == [
+            ("daemon", ["daemon.log.2", "daemon.log.1", "daemon.log"])
+        ]
+        store = LogStore.load(tmp_path)
+        assert [r.cls for r in store.records("daemon")] == ["Old", "Mid", "New"]
+        assert store.stream_diagnostics["daemon"].segments == 3
 
 
 class TestRecordsView:

@@ -216,3 +216,42 @@ class TestFirstEventIndex:
         for kind in (EventKind.APP_SUBMITTED, EventKind.APP_ACCEPTED,
                      EventKind.APP_FINISHED):
             assert trace.first(kind) is _scan_first(trace.events, kind)
+
+
+class TestFormatDriftTolerance:
+    """Regression: a drifted timestamp is skipped and counted, not fatal.
+
+    A log4j layout change mid-fleet produces lines that still *look*
+    like records but whose timestamp cannot be interpreted; the miner
+    used to propagate the ``ValueError`` from ``parse_timestamp``.
+    """
+
+    RM_LINES = [
+        "2018-01-12 00:00:01,000 INFO x.RMAppImpl: application_1515715200000_0001 State change from NEW to SUBMITTED on event = START",
+        # month-drifted: shaped like a record, uninterpretable timestamp
+        "2018-02-12 00:00:02,000 INFO x.RMAppImpl: application_1515715200000_0001 State change from SUBMITTED to ACCEPTED on event = APP_ACCEPTED",
+        "2018-01-12 00:00:03,000 INFO x.RMAppImpl: application_1515715200000_0001 State change from ACCEPTED to RUNNING on event = ATTEMPT_REGISTERED",
+    ]
+
+    def test_drifted_line_is_skipped_and_counted(self, tmp_path):
+        (tmp_path / "hadoop-resourcemanager.log").write_text(
+            "\n".join(self.RM_LINES) + "\n"
+        )
+        events, diagnostics = LogMiner().mine_with_diagnostics(tmp_path)
+        # The drifted ACCEPTED line is gone; its neighbours survive.
+        kinds = [e.kind for e in events]
+        assert kinds == [EventKind.APP_SUBMITTED, EventKind.APP_ATTEMPT_REGISTERED]
+        stream = diagnostics.streams["hadoop-resourcemanager"]
+        assert stream.dropped_bad_timestamp == 1
+        assert stream.records_parsed == 2
+        assert diagnostics.degraded()
+
+    def test_drifted_line_from_store_lines(self):
+        store = LogStore.from_lines(
+            ("hadoop-resourcemanager", line) for line in self.RM_LINES
+        )
+        events, diagnostics = LogMiner().mine_with_diagnostics(store)
+        assert len(events) == 2
+        assert (
+            diagnostics.streams["hadoop-resourcemanager"].dropped_bad_timestamp == 1
+        )
