@@ -1,7 +1,8 @@
-"""Pass 3 — determinism lint (rules SD301-SD303).
+"""Pass 3 — determinism lint (rules SD301-SD304).
 
 The simulator's reproducibility guarantee is that one (seed, scenario)
-pair always yields byte-identical logs.  Three source patterns break it:
+pair always yields byte-identical logs, and the miner's parallel paths
+promise byte-identical reports.  Four source patterns break them:
 
 * **SD301 unseeded-random** — calls into ``random`` or
   ``numpy.random`` that bypass the named, seeded substreams of
@@ -13,7 +14,14 @@ pair always yields byte-identical logs.  Three source patterns break it:
 * **SD303 unordered-iteration** — ``for`` loops (or comprehensions)
   driven directly by a ``set``/``frozenset`` expression, whose
   iteration order varies across processes when elements are
-  hash-randomized — enough to reorder event scheduling.
+  hash-randomized — enough to reorder event scheduling;
+* **SD304 completion-order-merge** —
+  ``concurrent.futures.as_completed`` (or ``Executor.map`` results
+  re-sorted by arrival): consuming worker results in *completion* order
+  makes the merge depend on scheduling jitter.  The sanctioned pattern
+  is ``Executor.map``, which yields results in submission order — the
+  property the fast-path chunk merge in ``repro.core.parser`` relies on
+  for its byte-identity guarantee.
 
 Everything is a pure AST walk; nothing is imported or executed.
 """
@@ -45,6 +53,14 @@ _WALL_CLOCK_CALLS = frozenset(
         "datetime.datetime.utcnow",
         "datetime.datetime.today",
         "datetime.date.today",
+    }
+)
+
+#: Canonical dotted names that yield worker results in completion order.
+_COMPLETION_ORDER_CALLS = frozenset(
+    {
+        "concurrent.futures.as_completed",
+        "asyncio.as_completed",
     }
 )
 
@@ -131,6 +147,17 @@ def scan_source(source: str, path: str) -> List[Finding]:
                         node.lineno,
                         f"call to {canonical}() reads the host wall clock; "
                         f"use the simulation clock instead",
+                    )
+                )
+            elif canonical in _COMPLETION_ORDER_CALLS:
+                findings.append(
+                    make_finding(
+                        "SD304",
+                        path,
+                        node.lineno,
+                        f"call to {canonical}() consumes worker results in "
+                        f"completion order; use Executor.map, which yields "
+                        f"in submission order",
                     )
                 )
         elif isinstance(node, (ast.For, ast.AsyncFor)):

@@ -29,6 +29,7 @@ RULES: Dict[str, Tuple[str, str]] = {
     "SD301": ("error", "unseeded-random"),
     "SD302": ("error", "wall-clock"),
     "SD303": ("warning", "unordered-iteration"),
+    "SD304": ("error", "completion-order-merge"),
 }
 
 

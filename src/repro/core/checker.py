@@ -10,7 +10,7 @@ from repro.core.decompose import decompose
 from repro.core.diagnostics import AppDiagnostics
 from repro.core.graph import SchedulingGraph
 from repro.core.grouping import ApplicationTrace, group_events
-from repro.core.parser import LogMiner
+from repro.core.parser import AUTO_JOBS, LogMiner, resolve_jobs
 from repro.core.report import AnalysisReport
 from repro.logsys.store import LogStore
 
@@ -30,19 +30,25 @@ class SDChecker:
     group (global-ID binding) -> graph (per-app scheduling DAG) ->
     decompose (delay components) -> report (+ bug check).
 
-    ``jobs > 1`` mines the daemon streams with that many worker
-    processes; the result is byte-identical to serial mining (the
-    per-daemon merge is deterministic), only faster on large corpora.
+    ``jobs`` is a worker-process count or ``"auto"`` (the default),
+    which resolves per source via :func:`repro.core.parser.resolve_jobs`
+    — serial for small corpora or single-CPU machines, a worker pool
+    otherwise.  Parallel mining is byte-identical to serial mining (the
+    chunk/stream merge is deterministic), only faster on large corpora.
     """
 
-    def __init__(self, jobs: int = 1) -> None:
+    def __init__(self, jobs: Union[int, str] = AUTO_JOBS) -> None:
         self._miner = LogMiner()
         self.jobs = jobs
 
+    def _resolved_jobs(self, source: Union[LogStore, str, Path]) -> int:
+        return resolve_jobs(self.jobs, source)
+
     def mine(self, source: Union[LogStore, str, Path]):
         """Step 1: raw scheduling events."""
-        if self.jobs > 1:
-            return self._miner.mine_parallel(source, jobs=self.jobs)
+        jobs = self._resolved_jobs(source)
+        if jobs > 1:
+            return self._miner.mine_parallel(source, jobs=jobs)
         return self._miner.mine(source)
 
     def group(self, source: Union[LogStore, str, Path]) -> Dict[str, ApplicationTrace]:
@@ -55,8 +61,9 @@ class SDChecker:
 
     def mine_with_diagnostics(self, source: Union[LogStore, str, Path]):
         """Step 1 with the tolerance ledger: (events, MiningDiagnostics)."""
-        if self.jobs > 1:
-            return self._miner.mine_parallel_with_diagnostics(source, jobs=self.jobs)
+        jobs = self._resolved_jobs(source)
+        if jobs > 1:
+            return self._miner.mine_parallel_with_diagnostics(source, jobs=jobs)
         return self._miner.mine_with_diagnostics(source)
 
     def analyze(self, source: Union[LogStore, str, Path]) -> AnalysisReport:

@@ -14,9 +14,22 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro.core.checker import SDChecker
+from repro.core.parser import AUTO_JOBS
 from repro.core.report import METRICS
 
 __all__ = ["main", "build_arg_parser"]
+
+
+def _jobs_arg(value: str):
+    """``--jobs`` values: a positive worker count or ``auto``."""
+    if value == AUTO_JOBS:
+        return AUTO_JOBS
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a worker count or 'auto', got {value!r}"
+        ) from None
 
 
 def build_arg_parser() -> argparse.ArgumentParser:
@@ -33,12 +46,13 @@ def build_arg_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--jobs",
-        type=int,
-        default=1,
+        type=_jobs_arg,
+        default=AUTO_JOBS,
         metavar="N",
         help=(
-            "mine the daemon log streams with N worker processes "
-            "(default 1: serial; the output is identical either way)"
+            "mine the logs with N worker processes, or 'auto' (the "
+            "default) to pick serial vs parallel from the corpus size "
+            "and CPU count; the output is identical either way"
         ),
     )
     parser.add_argument(
@@ -131,8 +145,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if not logdir.is_dir():
         print(f"sdchecker: {logdir} is not a directory", file=sys.stderr)
         return 2
-    if args.jobs < 1:
-        print("sdchecker: --jobs must be >= 1", file=sys.stderr)
+    if args.jobs != AUTO_JOBS and args.jobs < 1:
+        print("sdchecker: --jobs must be >= 1 or 'auto'", file=sys.stderr)
         return 2
     checker = SDChecker(jobs=args.jobs)
 

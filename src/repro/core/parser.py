@@ -16,10 +16,38 @@ The pipeline is streaming and embarrassingly parallel:
 * each line pays one literal prefix test and at most one precompiled
   alternation match (:func:`repro.core.messages.classify_container_line`
   and the prefix gates) instead of a cascade of regex searches;
-* :meth:`LogMiner.mine_parallel` fans whole daemon streams out over a
-  :class:`~concurrent.futures.ProcessPoolExecutor` and concatenates the
-  per-daemon results in sorted-daemon order — the same order serial
-  mining uses — so its output is byte-identical to :meth:`LogMiner.mine`.
+* :meth:`LogMiner.mine_parallel` fans the work out over a
+  :class:`~concurrent.futures.ProcessPoolExecutor` with a deterministic
+  ordered merge, so its output is byte-identical to :meth:`LogMiner.mine`.
+
+Directory sources take the **byte-oriented fast path**, a two-phase
+pipeline over raw ``bytes`` chunks:
+
+* **Phase 1** scans each byte line with fixed-offset probes and two
+  memos (second-granular timestamp prefixes, ``LEVEL Cls`` heads) and
+  gates it on its stream's classifier literals via one C-level
+  ``bytes.startswith`` — the ~90 % of lines that can never produce a
+  :class:`SchedulingEvent` are fully accounted (every diagnostics
+  counter is maintained exactly) without a regex match, a str decode,
+  or a :class:`LogRecord` ever being constructed.  Any line the strict
+  byte probes cannot decide (non-ASCII, drifted timestamp, unusual
+  spacing) falls back to :meth:`LogRecord.classify_parse`, so the fast
+  path's decisions are *exactly* the reference reader's.
+* **Phase 2** decodes and fully parses only the surviving lines,
+  emitting compact primitive tuples that the parent rehydrates into
+  :class:`SchedulingEvent` objects — workers never pickle dataclasses.
+
+Parallelism is by deterministic byte-offset chunk: files above
+:data:`~repro.logsys.store.FAST_SPLIT_THRESHOLD` are partitioned at
+line boundaries (:func:`~repro.logsys.store.partition_file` /
+:func:`~repro.logsys.store.read_chunk`), chunks are mined
+independently, and results are merged in (stream, segment, offset)
+order.  Per-stream state that spans chunks — the positional FIRST_LOG,
+first-occurrence FIRST_TASK / MR_TASK_DONE, and the duplicate /
+out-of-order ledger across chunk boundaries — is reconstructed by the
+merge, which is shared verbatim by the serial and parallel paths:
+serial, ``--jobs N``, and any chunking of the same files produce
+byte-identical reports.
 
 Mining is also *accounted*: :meth:`LogMiner.mine_with_diagnostics`
 returns a :class:`~repro.core.diagnostics.MiningDiagnostics` alongside
@@ -33,6 +61,7 @@ measurement error into invisible bias; this one keeps the ledger.
 from __future__ import annotations
 
 import itertools
+import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import replace
 from pathlib import Path
@@ -42,10 +71,25 @@ from repro.core import messages as msg
 from repro.core.diagnostics import MiningDiagnostics
 from repro.core.events import EventKind, SchedulingEvent
 from repro.logsys.diagnostics import StreamDiagnostics
-from repro.logsys.record import LogRecord
-from repro.logsys.store import LogStore, iter_segment_records, stream_segments
+from repro.logsys.record import (
+    PARSE_BAD_TIMESTAMP,
+    TS_GARBLED,
+    TS_PREFIX_LEN,
+    LogRecord,
+    TimestampMemo,
+    classify_head_bytes,
+)
+from repro.logsys.store import (
+    FAST_CHUNK_TARGET,
+    FAST_SPLIT_THRESHOLD,
+    LogStore,
+    iter_segment_records,
+    partition_file,
+    read_chunk,
+    stream_segments,
+)
 
-__all__ = ["LogMiner"]
+__all__ = ["LogMiner", "AUTO_JOBS", "available_cpus", "resolve_jobs"]
 
 _CONTAINER_DAEMON_RE = msg.CONTAINER_ID_RE
 
@@ -60,9 +104,95 @@ _StreamTask = Tuple[
     Optional[StreamDiagnostics],
 ]
 
+# -- byte-oriented directory fast path ----------------------------------------
+
+#: Sentinel accepted wherever a job count is taken: pick the worker
+#: count from the machine and the corpus via :func:`resolve_jobs`.
+AUTO_JOBS = "auto"
+
+#: Corpora below this many (estimated) lines mine faster serially than
+#: they can amortize ProcessPoolExecutor spin-up and teardown (~100 ms
+#: against a >1M lines/s serial fast path); BENCH_miner.json shows the
+#: 26k-line small corpus *losing* throughput at ``--jobs 4``.
+AUTO_SERIAL_THRESHOLD_LINES = 150_000
+
+#: Directory corpora are sized without reading them: total bytes over
+#: the observed mean line length of the simulated logs (the benchmark
+#: corpora average ~108 bytes/line at every scale).
+_AUTO_BYTES_PER_LINE = 108
+
+#: Cap on auto-resolved workers: the parent's ordered merge and the
+#: result pickling serialize beyond this, so more workers add traffic
+#: without throughput.
+_AUTO_MAX_JOBS = 4
+
+#: One chunk of parallel work: (daemon, gate kind, segment path, byte
+#: start, byte end) — pure strings and ints, nothing to pickle slowly.
+_ChunkTask = Tuple[str, Optional[str], str, int, int]
+
+_RM_APP_PREFIX_B = msg.RM_APP_LINE_PREFIX.encode("ascii")
+_RM_CONTAINER_PREFIX_B = msg.RM_CONTAINER_LINE_PREFIX.encode("ascii")
+_NM_CONTAINER_PREFIX_B = msg.NM_CONTAINER_LINE_PREFIX.encode("ascii")
+_CONTAINER_PREFIXES_B = tuple(p.encode("ascii") for p in msg.CONTAINER_LINE_PREFIXES)
+
+_FIRST_TASK_VALUE = EventKind.FIRST_TASK.value
+_MR_TASK_DONE_VALUE = EventKind.MR_TASK_DONE.value
+_KIND_BY_VALUE = {kind.value: kind for kind in EventKind}
+
+#: Cap of the per-run ``LEVEL Cls`` head memo (same rationale as
+#: :class:`TimestampMemo`: hostile input must not grow it unboundedly).
+_HEAD_MEMO_CAP = 1 << 14
+
+
+def _head_entry(head: bytes):
+    """Memo entry for one head span: (level, cls, *relevance), or False.
+
+    The relevance flags pre-answer the ``cls.endswith`` probes of the
+    per-stream miners so the hot loop pays them once per distinct head,
+    not once per line.  ``False`` (not None — that is ``dict.get``'s
+    miss value) marks a span that can never occur in a log4j line.
+    """
+    parsed = classify_head_bytes(head)
+    if parsed is None:
+        return False
+    level, cls = parsed
+    return (
+        level,
+        cls,
+        cls.endswith("RMAppImpl"),
+        cls.endswith("RMContainerImpl"),
+        cls.endswith("ContainerImpl"),
+    )
+
+
+def _gate_kind(daemon: str) -> Optional[str]:
+    """Stream type for phase-1 gating; mirrors :meth:`LogMiner._mine_stream`."""
+    if _CONTAINER_DAEMON_RE.match(daemon):
+        return "container"
+    if daemon.startswith("hadoop-resourcemanager"):
+        return "rm"
+    if daemon.startswith("hadoop-nodemanager"):
+        return "nm"
+    return None
+
 
 class LogMiner:
     """Extracts Table I events from a :class:`LogStore` or a directory."""
+
+    def __init__(
+        self,
+        fast: bool = True,
+        split_threshold: int = FAST_SPLIT_THRESHOLD,
+        chunk_target: int = FAST_CHUNK_TARGET,
+    ):
+        #: Route directory sources through the byte-oriented fast path.
+        #: ``fast=False`` keeps the record-stream path, retained as the
+        #: executable reference semantics and the benchmark baseline.
+        self.fast = fast
+        #: Files above this size are split into byte-range chunks.
+        self.split_threshold = split_threshold
+        #: Aimed chunk size when splitting.
+        self.chunk_target = chunk_target
 
     def mine(self, source: Union[LogStore, str, Path]) -> List[SchedulingEvent]:
         """All scheduling events, in per-stream log order."""
@@ -72,6 +202,8 @@ class LogMiner:
         self, source: Union[LogStore, str, Path]
     ) -> Tuple[List[SchedulingEvent], MiningDiagnostics]:
         """:meth:`mine` plus the per-stream tolerance ledger."""
+        if self.fast and not isinstance(source, LogStore):
+            return self._mine_directory_fast(source, jobs=1)
         events: List[SchedulingEvent] = []
         diagnostics = MiningDiagnostics()
         for task in self._stream_tasks(source):
@@ -81,21 +213,26 @@ class LogMiner:
         return events, diagnostics
 
     def mine_parallel(
-        self, source: Union[LogStore, str, Path], jobs: int = 2
+        self, source: Union[LogStore, str, Path], jobs: Union[int, str] = AUTO_JOBS
     ) -> List[SchedulingEvent]:
         """:meth:`mine`, fanned out over ``jobs`` worker processes."""
         return self.mine_parallel_with_diagnostics(source, jobs=jobs)[0]
 
     def mine_parallel_with_diagnostics(
-        self, source: Union[LogStore, str, Path], jobs: int = 2
+        self, source: Union[LogStore, str, Path], jobs: Union[int, str] = AUTO_JOBS
     ) -> Tuple[List[SchedulingEvent], MiningDiagnostics]:
         """:meth:`mine_with_diagnostics` over ``jobs`` worker processes.
 
-        Daemon streams are independent, so each worker mines a subset
-        and the results are concatenated in sorted-daemon order — the
-        exact order :meth:`mine` emits — making the parallel output
-        byte-identical to the serial one.  ``jobs <= 1`` runs inline.
+        ``jobs`` may be a count or :data:`AUTO_JOBS` (the default),
+        which resolves through :func:`resolve_jobs`.  Work units —
+        byte-range chunks on the fast path, daemon streams otherwise —
+        are independent, and results are merged in the order serial
+        mining visits them, making the parallel output byte-identical
+        to the serial one.  ``jobs <= 1`` runs inline.
         """
+        jobs = resolve_jobs(jobs, source)
+        if self.fast and not isinstance(source, LogStore):
+            return self._mine_directory_fast(source, jobs=jobs)
         tasks = self._stream_tasks(source)
         if jobs <= 1 or len(tasks) <= 1:
             results = [_mine_stream_task(task) for task in tasks]
@@ -110,6 +247,61 @@ class LogMiner:
         diagnostics = MiningDiagnostics()
         for _events, stream_diag in results:
             diagnostics.streams[stream_diag.daemon] = stream_diag
+        return events, diagnostics
+
+    # -- byte-oriented directory fast path ---------------------------------
+    def _fast_stream_plans(
+        self, source: Union[str, Path]
+    ) -> List[Tuple[str, Optional[str], int, List[_ChunkTask]]]:
+        """Per-stream chunk plans in (daemon, segment, offset) order."""
+        plans: List[Tuple[str, Optional[str], int, List[_ChunkTask]]] = []
+        for daemon, paths in stream_segments(source):
+            gate = _gate_kind(daemon)
+            chunks: List[_ChunkTask] = [
+                (daemon, gate, str(path), start, end)
+                for path in paths
+                for start, end in partition_file(
+                    path, threshold=self.split_threshold, target=self.chunk_target
+                )
+            ]
+            plans.append((daemon, gate, len(paths), chunks))
+        return plans
+
+    def _mine_directory_fast(
+        self, source: Union[str, Path], jobs: int
+    ) -> Tuple[List[SchedulingEvent], MiningDiagnostics]:
+        """Mine a log directory through the two-phase byte pipeline."""
+        plans = self._fast_stream_plans(source)
+        tasks = [chunk for _d, _g, _n, chunks in plans for chunk in chunks]
+        if jobs <= 1 or len(tasks) <= 1:
+            # Serial: one memo pair spans the whole run, so a timestamp
+            # second or head seen in any stream stays warm for the next.
+            ts_memo = TimestampMemo()
+            head_memo: dict = {}
+            scans = [
+                _scan_chunk(
+                    daemon, gate, read_chunk(path, start, end), ts_memo, head_memo
+                )
+                for daemon, gate, path, start, end in tasks
+            ]
+        else:
+            workers = min(jobs, len(tasks))
+            chunksize = max(1, len(tasks) // (4 * workers))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                # Executor.map preserves input order: the merge below is
+                # deterministic no matter which worker finishes first.
+                scans = list(pool.map(_mine_chunk_task, tasks, chunksize=chunksize))
+        events: List[SchedulingEvent] = []
+        diagnostics = MiningDiagnostics()
+        cursor = 0
+        for daemon, gate, segments, chunks in plans:
+            stream_scans = scans[cursor : cursor + len(chunks)]
+            cursor += len(chunks)
+            stream_events, stream_diag = _merge_stream_chunks(
+                daemon, gate, segments, stream_scans
+            )
+            events.extend(stream_events)
+            diagnostics.streams[daemon] = stream_diag
         return events, diagnostics
 
     # -- stream enumeration ------------------------------------------------
@@ -315,3 +507,430 @@ def _mine_stream_task(
         )
     events = LogMiner()._mine_stream(daemon, records, diagnostics)
     return events, diagnostics
+
+
+def _scan_chunk(
+    daemon: str,
+    gate: Optional[str],
+    buf: bytes,
+    ts_memo: Optional[TimestampMemo] = None,
+    head_memo: Optional[dict] = None,
+) -> Tuple[List[tuple], Tuple[int, ...], Optional[tuple], Optional[tuple]]:
+    """Phase 1+2 over one byte chunk: gate every line, parse survivors.
+
+    Returns ``(events, counters, first_key, last_key)``: *events* are
+    compact ``(kind_value, ts, app_id, container_id, source_class)``
+    tuples in line order; *counters* is ``(lines_total, records_parsed,
+    dropped_garbled, dropped_bad_timestamp, encoding_replacements,
+    duplicate_records, out_of_order)``; the keys are ``(ts, level, cls,
+    message)`` of the chunk's first and last parsed record (None when
+    nothing parsed), which :func:`_merge_stream_chunks` uses to stitch
+    the duplicate/out-of-order ledger across chunk boundaries.
+
+    The fast lane handles exactly the lines whose classification the
+    strict byte probes can decide: pure-ASCII lines whose first 19
+    bytes are an epoch-month timestamp.  Everything else — non-ASCII
+    bytes, drifted timestamps, anything shape-ambiguous — falls through
+    to :meth:`LogRecord.classify_parse` on the decoded line, so every
+    counter and every event agrees with the record-stream path
+    bit-for-bit.
+    """
+    if ts_memo is None:
+        ts_memo = TimestampMemo()
+    if head_memo is None:
+        head_memo = {}
+    lines = buf.split(b"\n")
+    if lines and lines[-1] == b"":
+        lines.pop()  # terminator of the final line, not an empty line
+    events: List[tuple] = []
+    parsed = garbled = bad_ts = replacements = dups = ooo = 0
+    # State of the previous *parsed* record for the duplicate /
+    # backwards-timestamp ledger (same semantics as _observe_duplicates).
+    # The message text is kept lazily: between two fast-lane lines it is
+    # compared as raw bytes; a decode only happens on the rare
+    # timestamp-tie against a slow-lane record.
+    prev_ts: Optional[float] = None
+    prev_level: Optional[str] = None
+    prev_cls: Optional[str] = None
+    prev_line: Optional[bytes] = None  # fast lane: raw previous line ...
+    prev_delim = 0  # ... and its ": " offset
+    prev_message: Optional[str] = None  # slow lane: decoded message
+    first_key: Optional[tuple] = None
+    gate_rm = gate == "rm"
+    gate_nm = gate == "nm"
+    gate_container = gate == "container"
+    stream_app = msg.app_id_of_container(daemon) if gate_container else None
+    saw_task = False
+    saw_mr_done = False
+    ts_cache_get = ts_memo.cache.get
+    ts_memo_miss = ts_memo.miss
+    head_get = head_memo.get
+    emit = events.append
+    for line in lines:
+        if line.isascii():
+            prefix = line[:TS_PREFIX_LEN]
+            base = ts_cache_get(prefix)
+            if base is None:
+                base = ts_memo_miss(prefix)
+            if type(base) is float:
+                # Fixed log4j offsets: ",SSS " occupies bytes 19-23
+                # (44 is ``,``, 32 the space); the shortest line the
+                # layout admits — "<ts>,SSS L C: " — is 29 bytes.
+                millis = line[20:23]
+                if (
+                    len(line) < 29
+                    or line[19] != 44
+                    or line[23] != 32
+                    or not millis.isdigit()
+                ):
+                    garbled += 1
+                    continue
+                delim = line.find(b": ", 24)
+                if delim < 0:
+                    garbled += 1
+                    continue
+                entry = head_get(line[24:delim])
+                if entry is None:
+                    head = line[24:delim]
+                    if len(head_memo) >= _HEAD_MEMO_CAP:
+                        head_memo.clear()
+                    entry = head_memo[head] = _head_entry(head)
+                if entry is False:
+                    garbled += 1
+                    continue
+                # Same operation order as parse_timestamp, so the float
+                # is bit-identical to the reference parse.
+                ts = base + int(millis) / 1000.0
+                parsed += 1
+                level = entry[0]
+                cls = entry[1]
+                if prev_ts is not None:
+                    if ts < prev_ts:
+                        ooo += 1
+                    elif ts == prev_ts and level == prev_level and cls == prev_cls:
+                        message_b = line[delim + 2 :]
+                        if prev_line is not None:
+                            same = message_b == prev_line[prev_delim + 2 :]
+                        else:
+                            same = message_b.decode("utf-8") == prev_message
+                        if same:
+                            dups += 1
+                prev_ts = ts
+                prev_level = level
+                prev_cls = cls
+                prev_line = line
+                prev_delim = delim
+                prev_message = None
+                if first_key is None:
+                    first_key = (ts, level, cls, line[delim + 2 :].decode("utf-8"))
+                start = delim + 2
+                if gate_container:
+                    if line.startswith(_CONTAINER_PREFIXES_B, start):
+                        hit = msg.classify_container_line(
+                            line[start:].decode("utf-8")
+                        )
+                        if hit is not None:
+                            kind, line_app = hit
+                            kind_value = kind.value
+                            if kind_value == _FIRST_TASK_VALUE:
+                                if saw_task:
+                                    continue
+                                saw_task = True
+                            elif kind_value == _MR_TASK_DONE_VALUE:
+                                if saw_mr_done:
+                                    continue
+                                saw_mr_done = True
+                            emit(
+                                (
+                                    kind_value,
+                                    ts,
+                                    stream_app if line_app is None else line_app,
+                                    daemon,
+                                    cls,
+                                )
+                            )
+                elif gate_rm:
+                    if entry[2] and line.startswith(_RM_APP_PREFIX_B, start):
+                        hit = msg.classify_rm_app_line(line[start:].decode("utf-8"))
+                        if hit is not None:
+                            emit((hit[0].value, ts, hit[1], None, ""))
+                    elif entry[3] and line.startswith(_RM_CONTAINER_PREFIX_B, start):
+                        hit = msg.classify_rm_container_line(
+                            line[start:].decode("utf-8")
+                        )
+                        if hit is not None:
+                            kind, container_id = hit
+                            emit(
+                                (
+                                    kind.value,
+                                    ts,
+                                    msg.app_id_of_container(container_id),
+                                    container_id,
+                                    "",
+                                )
+                            )
+                elif gate_nm:
+                    if entry[4] and line.startswith(_NM_CONTAINER_PREFIX_B, start):
+                        hit = msg.classify_nm_container_line(
+                            line[start:].decode("utf-8")
+                        )
+                        if hit is not None:
+                            kind, container_id = hit
+                            emit(
+                                (
+                                    kind.value,
+                                    ts,
+                                    msg.app_id_of_container(container_id),
+                                    container_id,
+                                    "",
+                                )
+                            )
+                continue
+            if base is TS_GARBLED:
+                garbled += 1
+                continue
+            # TS_FOREIGN: timestamp-shaped but outside the epoch month —
+            # bad-timestamp vs garbled depends on the rest of the line's
+            # shape, which classify_parse below decides.
+        # -- slow lane: reference semantics on the decoded line ---------
+        text = line.decode("utf-8", errors="replace")
+        if "�" in text:
+            replacements += 1
+        record, outcome = LogRecord.classify_parse(text)
+        if record is None:
+            if outcome == PARSE_BAD_TIMESTAMP:
+                bad_ts += 1
+            else:
+                garbled += 1
+            continue
+        parsed += 1
+        ts = record.timestamp
+        message = record.message
+        if prev_ts is not None:
+            if ts < prev_ts:
+                ooo += 1
+            elif (
+                ts == prev_ts
+                and record.level == prev_level
+                and record.cls == prev_cls
+            ):
+                if prev_line is not None:
+                    same = message == prev_line[prev_delim + 2 :].decode("utf-8")
+                else:
+                    same = message == prev_message
+                if same:
+                    dups += 1
+        prev_ts = ts
+        prev_level = record.level
+        prev_cls = record.cls
+        prev_line = None
+        prev_message = message
+        if first_key is None:
+            first_key = (ts, record.level, record.cls, message)
+        if gate_container:
+            hit = msg.classify_container_line(message)
+            if hit is not None:
+                kind, line_app = hit
+                kind_value = kind.value
+                if kind_value == _FIRST_TASK_VALUE:
+                    if saw_task:
+                        continue
+                    saw_task = True
+                elif kind_value == _MR_TASK_DONE_VALUE:
+                    if saw_mr_done:
+                        continue
+                    saw_mr_done = True
+                emit(
+                    (
+                        kind_value,
+                        ts,
+                        stream_app if line_app is None else line_app,
+                        daemon,
+                        record.cls,
+                    )
+                )
+        elif gate_rm:
+            if message.startswith(msg.RM_APP_LINE_PREFIX) and record.cls.endswith(
+                "RMAppImpl"
+            ):
+                hit = msg.classify_rm_app_line(message)
+                if hit is not None:
+                    emit((hit[0].value, ts, hit[1], None, ""))
+            elif message.startswith(
+                msg.RM_CONTAINER_LINE_PREFIX
+            ) and record.cls.endswith("RMContainerImpl"):
+                hit = msg.classify_rm_container_line(message)
+                if hit is not None:
+                    kind, container_id = hit
+                    emit(
+                        (
+                            kind.value,
+                            ts,
+                            msg.app_id_of_container(container_id),
+                            container_id,
+                            "",
+                        )
+                    )
+        elif gate_nm:
+            if message.startswith(
+                msg.NM_CONTAINER_LINE_PREFIX
+            ) and record.cls.endswith("ContainerImpl"):
+                hit = msg.classify_nm_container_line(message)
+                if hit is not None:
+                    kind, container_id = hit
+                    emit(
+                        (
+                            kind.value,
+                            ts,
+                            msg.app_id_of_container(container_id),
+                            container_id,
+                            "",
+                        )
+                    )
+    if prev_ts is None:
+        last_key = None
+    elif prev_line is not None:
+        last_key = (
+            prev_ts,
+            prev_level,
+            prev_cls,
+            prev_line[prev_delim + 2 :].decode("utf-8"),
+        )
+    else:
+        last_key = (prev_ts, prev_level, prev_cls, prev_message)
+    counters = (len(lines), parsed, garbled, bad_ts, replacements, dups, ooo)
+    return events, counters, first_key, last_key
+
+
+def _mine_chunk_task(
+    task: _ChunkTask,
+) -> Tuple[List[tuple], Tuple[int, ...], Optional[tuple], Optional[tuple]]:
+    """Worker entry point: read and scan one chunk (module-level for pickling)."""
+    daemon, gate, path, start, end = task
+    return _scan_chunk(daemon, gate, read_chunk(path, start, end))
+
+
+def _merge_stream_chunks(
+    daemon: str,
+    gate: Optional[str],
+    segments: int,
+    scans: Iterable[tuple],
+) -> Tuple[List[SchedulingEvent], StreamDiagnostics]:
+    """Stitch one stream's per-chunk scans back into stream semantics.
+
+    Chunks arrive in (segment, offset) order, so concatenating their
+    event tuples reproduces log order.  Three pieces of per-stream
+    state span chunk boundaries and are reconstructed here exactly as
+    the record-stream path computes them:
+
+    * the duplicate / out-of-order ledger compares each chunk's first
+      parsed record against the previous chunk's last — chunks with no
+      parsed record are transparent, exactly like rotation segments
+      full of noise in the record-stream path;
+    * FIRST_TASK / MR_TASK_DONE keep only their first occurrence in
+      the whole stream (the per-chunk flags only suppress repeats
+      *within* a chunk);
+    * the positional INSTANCE_FIRST_LOG is synthesized from the first
+      parsed record of the stream (container streams only).
+    """
+    diagnostics = StreamDiagnostics(
+        daemon=daemon, segments=max(1, segments), recognized=gate is not None
+    )
+    compact: List[tuple] = []
+    first_key: Optional[tuple] = None
+    previous_last: Optional[tuple] = None
+    saw_task = False
+    saw_mr_done = False
+    for chunk_events, counters, chunk_first, chunk_last in scans:
+        lines_total, parsed, garbled, bad_ts, replacements, dups, ooo = counters
+        diagnostics.lines_total += lines_total
+        diagnostics.records_parsed += parsed
+        diagnostics.dropped_garbled += garbled
+        diagnostics.dropped_bad_timestamp += bad_ts
+        diagnostics.encoding_replacements += replacements
+        diagnostics.duplicate_records += dups
+        diagnostics.out_of_order += ooo
+        if chunk_first is not None:
+            if previous_last is not None:
+                if chunk_first == previous_last:
+                    diagnostics.duplicate_records += 1
+                elif chunk_first[0] < previous_last[0]:
+                    diagnostics.out_of_order += 1
+            if first_key is None:
+                first_key = chunk_first
+            previous_last = chunk_last
+        for event in chunk_events:
+            kind_value = event[0]
+            if kind_value == _FIRST_TASK_VALUE:
+                if saw_task:
+                    continue
+                saw_task = True
+            elif kind_value == _MR_TASK_DONE_VALUE:
+                if saw_mr_done:
+                    continue
+                saw_mr_done = True
+            compact.append(event)
+    events: List[SchedulingEvent] = []
+    if gate == "container" and first_key is not None:
+        ts, _level, cls, message = first_key
+        events.append(
+            SchedulingEvent(
+                EventKind.INSTANCE_FIRST_LOG,
+                ts,
+                msg.app_id_of_container(daemon),
+                daemon,
+                daemon,
+                source_class=cls,
+                detail=message,
+            )
+        )
+    for kind_value, ts, app_id, container_id, source_class in compact:
+        events.append(
+            SchedulingEvent(
+                _KIND_BY_VALUE[kind_value],
+                ts,
+                app_id,
+                container_id,
+                daemon,
+                source_class=source_class,
+            )
+        )
+    return events, diagnostics
+
+
+def available_cpus() -> int:
+    """CPUs actually usable by this process (respects affinity masks)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # platforms without affinity masks
+        return os.cpu_count() or 1
+
+
+def resolve_jobs(
+    jobs: Union[int, str], source: Union[LogStore, str, Path]
+) -> int:
+    """Resolve a jobs request (a count or :data:`AUTO_JOBS`) for ``source``.
+
+    ``auto`` picks serial mining unless both the machine and the corpus
+    can profit from workers: on a single usable CPU, workers only add
+    pickle traffic, and below :data:`AUTO_SERIAL_THRESHOLD_LINES` the
+    pool spin-up outweighs any speedup.  Directory corpora are sized by
+    bytes — no line scan — via the observed mean line length.
+    """
+    if jobs != AUTO_JOBS:
+        return int(jobs)
+    cpus = available_cpus()
+    if cpus <= 1:
+        return 1
+    if isinstance(source, LogStore):
+        lines = len(source)
+    else:
+        total_bytes = sum(
+            path.stat().st_size
+            for _daemon, paths in stream_segments(source)
+            for path in paths
+        )
+        lines = total_bytes // _AUTO_BYTES_PER_LINE
+    if lines < AUTO_SERIAL_THRESHOLD_LINES:
+        return 1
+    return min(cpus, _AUTO_MAX_JOBS)

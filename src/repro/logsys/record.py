@@ -15,12 +15,18 @@ from dataclasses import dataclass, field
 
 __all__ = [
     "LogRecord",
+    "TimestampMemo",
+    "classify_head_bytes",
+    "classify_ts_prefix",
     "format_timestamp",
     "parse_timestamp",
     "EPOCH_LABEL",
     "PARSE_OK",
     "PARSE_GARBLED",
     "PARSE_BAD_TIMESTAMP",
+    "TS_PREFIX_LEN",
+    "TS_GARBLED",
+    "TS_FOREIGN",
 ]
 
 #: Outcomes of :meth:`LogRecord.classify_parse`.
@@ -45,6 +51,106 @@ _LINE_RE = re.compile(
     r"(?P<level>[A-Z]+) +"
     r"(?P<cls>[\w.$\-]+): (?P<message>.*)$"
 )
+
+# -- byte-oriented fast-path primitives ---------------------------------------
+#
+# The directory-mining fast path (repro.core.parser) classifies raw
+# ``bytes`` lines before any str decoding or LogRecord construction.
+# The contract is *exactness*: for any line these helpers either decide
+# precisely what :meth:`LogRecord.classify_parse` would decide, or they
+# refuse (TS_FOREIGN / a failed shape probe) and the caller falls back
+# to ``classify_parse`` on the decoded line.  They therefore only ever
+# handle pure-ASCII lines, where byte offsets equal str offsets and the
+# ASCII-only byte patterns agree with the unicode-aware str patterns.
+
+#: Length of the ``yyyy-MM-dd HH:mm:ss`` prefix the fast path memoizes.
+#: Millisecond digits are excluded on purpose: lines emitted within the
+#: same second share a memo entry, so a ticking corpus hits the cache
+#: ~1000x more often than a full-timestamp key would.
+TS_PREFIX_LEN = 19
+
+#: The 19-byte prefix cannot open a log4j line at all.
+TS_GARBLED = object()
+#: The prefix is timestamp-shaped but outside the simulated epoch month
+#: (format drift).  Whether the line counts as bad-timestamp or garbled
+#: then depends on the rest of its shape — callers must fall back to
+#: :meth:`LogRecord.classify_parse`.
+TS_FOREIGN = object()
+
+_TS_PREFIX_RE_B = re.compile(rb"\d{4}-\d{2}-\d{2} \d{2}:\d{2}:\d{2}")
+#: ``LEVEL  emitting.Cls`` between the timestamp and the ``": "``
+#: delimiter.  ``\w`` in a bytes pattern is ASCII-only, which is exact
+#: here because the fast path never feeds non-ASCII lines through.
+_HEAD_RE_B = re.compile(rb"[A-Z]+ +[\w.$\-]+")
+
+_EPOCH_YM_B = EPOCH_LABEL[:7].encode("ascii")
+
+
+def classify_ts_prefix(prefix: bytes):
+    """Classify a 19-byte ``yyyy-MM-dd HH:mm:ss`` candidate prefix.
+
+    Returns the simulated seconds as a ``float`` (the value
+    :func:`parse_timestamp` would produce for zero milliseconds), or
+    :data:`TS_GARBLED` / :data:`TS_FOREIGN` as described above.
+    """
+    if len(prefix) != TS_PREFIX_LEN or _TS_PREFIX_RE_B.fullmatch(prefix) is None:
+        return TS_GARBLED
+    if prefix[:7] != _EPOCH_YM_B:
+        return TS_FOREIGN
+    text = prefix.decode("ascii")
+    return parse_timestamp(text[:10], text[11:], "000")
+
+
+def classify_head_bytes(head: bytes):
+    """``(level, cls)`` for a ``LEVEL  Cls`` byte span, or None.
+
+    ``head`` is the region between the timestamp field and the first
+    ``": "`` delimiter.  A None return is definitive for ASCII lines:
+    the full line cannot match the log4j layout, because the level/class
+    region admits neither ``':'`` nor any character outside the strict
+    pattern, so no later ``": "`` can rescue the match.
+    """
+    if _HEAD_RE_B.fullmatch(head) is None:
+        return None
+    text = head.decode("ascii")
+    level, _, rest = text.partition(" ")
+    return level, rest.lstrip(" ")
+
+
+class TimestampMemo:
+    """Memoized timestamp-prefix classification for one mining run.
+
+    A bounded dict from 19-byte prefixes to :func:`classify_ts_prefix`
+    results.  Log lines arrive in near-monotonic bursts, so consecutive
+    lines overwhelmingly share a one-second prefix; the cap only exists
+    so hostile input (every line a distinct garbled prefix) cannot grow
+    the memo without bound — on overflow the cache simply restarts.
+
+    :attr:`cache` is deliberately public: a hot loop binds
+    ``cache.get`` locally and only pays the :meth:`miss` call on the
+    rare prefix it has not seen this second.
+    """
+
+    __slots__ = ("cache", "_cap")
+
+    def __init__(self, cap: int = 1 << 16):
+        #: The raw prefix -> result mapping, exposed for inlined reads.
+        self.cache: dict = {}
+        self._cap = cap
+
+    def lookup(self, prefix: bytes):
+        """Cached :func:`classify_ts_prefix` of ``prefix``."""
+        hit = self.cache.get(prefix)
+        if hit is None:
+            hit = self.miss(prefix)
+        return hit
+
+    def miss(self, prefix: bytes):
+        """Classify, remember, and return an uncached ``prefix``."""
+        if len(self.cache) >= self._cap:
+            self.cache.clear()
+        hit = self.cache[prefix] = classify_ts_prefix(prefix)
+        return hit
 
 
 def format_timestamp(sim_seconds: float) -> str:

@@ -30,13 +30,26 @@ __all__ = [
     "iter_file_lines",
     "iter_file_records",
     "iter_segment_records",
+    "partition_file",
+    "read_chunk",
     "stream_segments",
     "directory_glob",
+    "FAST_SPLIT_THRESHOLD",
+    "FAST_CHUNK_TARGET",
 ]
 
 #: Default read size for the chunked file reader: large enough to
 #: amortize syscalls, small enough to keep memory flat on huge logs.
 _CHUNK_SIZE = 1 << 16
+
+#: Files larger than this are split into byte-range chunks so several
+#: workers can mine one daemon file concurrently (a multi-GB
+#: ResourceManager log no longer serializes on a single worker).
+FAST_SPLIT_THRESHOLD = 8 * 1024 * 1024
+
+#: Aimed size of each split chunk.  Half the threshold, so a file just
+#: over the threshold still yields at least two meaningful chunks.
+FAST_CHUNK_TARGET = 4 * 1024 * 1024
 
 #: ``<daemon>.log`` (live) or ``<daemon>.log.N`` (rotated segment, the
 #: log4j RollingFileAppender convention: higher N is older).
@@ -51,9 +64,15 @@ def iter_file_lines(path: str | Path, chunk_size: int = _CHUNK_SIZE) -> Iterator
     (a crashed writer, bit rot, a truncated multi-byte character) are
     replaced with U+FFFD instead of raising — real log collections are
     not guaranteed to decode cleanly.
+
+    Lines are terminated by ``\\n`` only (``newline="\\n"`` disables
+    universal-newline translation): this is the log4j convention the
+    simulator writes, and it keeps the text reader line-for-line
+    identical with the byte-oriented fast path, which splits raw bytes
+    on ``\\n``.
     """
     tail = ""
-    with open(path, "r", encoding="utf-8", errors="replace") as handle:
+    with open(path, "r", encoding="utf-8", errors="replace", newline="\n") as handle:
         while True:
             chunk = handle.read(chunk_size)
             if not chunk:
@@ -64,6 +83,84 @@ def iter_file_lines(path: str | Path, chunk_size: int = _CHUNK_SIZE) -> Iterator
             yield from lines
     if tail:
         yield tail
+
+
+def partition_file(
+    path: str | Path,
+    threshold: int = FAST_SPLIT_THRESHOLD,
+    target: int = FAST_CHUNK_TARGET,
+) -> List[Tuple[int, int]]:
+    """Deterministic byte-range partition of one log file.
+
+    Returns ``[(start, end), ...]`` half-open byte ranges covering the
+    file: a single range for files of at most ``threshold`` bytes,
+    otherwise ranges of roughly ``target`` bytes each.  Boundaries are
+    pure arithmetic over the file *size* — no bytes are read — so the
+    partition of a given file is identical on every run and process.
+    Line alignment is the reader's job: :func:`read_chunk` assigns each
+    line to exactly one range via the line-ownership protocol.
+    """
+    size = Path(path).stat().st_size
+    if size <= threshold or target <= 0:
+        return [(0, size)]
+    chunks = -(-size // target)  # ceil division
+    bounds = [size * i // chunks for i in range(chunks + 1)]
+    return [(bounds[i], bounds[i + 1]) for i in range(chunks)]
+
+
+def read_chunk(
+    path: str | Path, start: int, end: int, read_size: int = _CHUNK_SIZE
+) -> bytes:
+    """The raw bytes of every line *owned* by the range ``[start, end)``.
+
+    Ownership protocol: a line belongs to the range containing its
+    first byte.  The returned buffer therefore starts at a line start
+    and runs through the final newline of the last owned line (a line
+    straddling ``end`` is read to completion here and skipped by the
+    next range; the file's unterminated tail line has no trailing
+    newline).  Splitting the buffer on ``\\n`` yields exactly the lines
+    :func:`iter_file_lines` would yield for this region, so
+    concatenating all ranges of :func:`partition_file` reconstructs the
+    whole file with every line appearing exactly once.
+
+    Detecting whether a line starts exactly at ``start`` requires one
+    byte of lookbehind (is ``start - 1`` a newline?), which is why the
+    reader seeks to ``start - 1`` rather than ``start``.
+    """
+    if end <= start:
+        return b""
+    with open(path, "rb") as handle:
+        if start > 0:
+            handle.seek(start - 1)
+            head = handle.read(end - start + 1)
+            if not head:
+                return b""
+            if head[0] == 0x0A:  # a line starts exactly at `start`
+                buf = head[1:]
+            else:
+                # Mid-line: the straddling line is owned upstream.  Our
+                # first owned line starts after the next newline — if
+                # that is at or past `end`, this range owns nothing.
+                newline_at = head.find(b"\n")
+                if newline_at < 0 or start + newline_at >= end:
+                    return b""
+                buf = head[newline_at + 1 :]
+        else:
+            buf = handle.read(end)
+        if buf.endswith(b"\n"):
+            return buf
+        # Complete the line that straddles `end` (EOF also ends it).
+        parts = [buf]
+        while True:
+            block = handle.read(read_size)
+            if not block:
+                break
+            newline_at = block.find(b"\n")
+            if newline_at >= 0:
+                parts.append(block[: newline_at + 1])
+                break
+            parts.append(block)
+        return b"".join(parts)
 
 
 def iter_file_records(

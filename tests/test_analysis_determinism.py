@@ -63,6 +63,34 @@ class TestUnorderedIteration:
         assert rules_of("for x in [1, 2]:\n    print(x)\n") == []
 
 
+class TestCompletionOrderMerge:
+    def test_as_completed_from_import(self):
+        source = (
+            "from concurrent.futures import as_completed\n"
+            "for f in as_completed(futures):\n    f.result()\n"
+        )
+        assert rules_of(source) == ["SD304"]
+
+    def test_as_completed_module_form(self):
+        source = (
+            "import concurrent.futures\n"
+            "for f in concurrent.futures.as_completed(futures):\n    pass\n"
+        )
+        assert rules_of(source) == ["SD304"]
+
+    def test_asyncio_as_completed(self):
+        source = "import asyncio\nfor f in asyncio.as_completed(tasks):\n    pass\n"
+        assert rules_of(source) == ["SD304"]
+
+    def test_executor_map_is_sanctioned(self):
+        source = (
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "with ProcessPoolExecutor() as pool:\n"
+            "    results = list(pool.map(work, tasks))\n"
+        )
+        assert rules_of(source) == []
+
+
 class TestPristineTree:
     def test_simulator_source_is_deterministic(self):
         assert determinism.run(SRC_ROOT) == []

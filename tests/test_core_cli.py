@@ -53,6 +53,27 @@ class TestCli:
     def test_missing_directory(self, tmp_path, capsys):
         assert main([str(tmp_path / "nope")]) == 2
 
+    def test_jobs_defaults_to_auto(self):
+        from repro.core.cli import build_arg_parser
+        from repro.core.parser import AUTO_JOBS
+
+        args = build_arg_parser().parse_args(["somedir"])
+        assert args.jobs == AUTO_JOBS
+
+    def test_jobs_accepts_auto_and_counts(self, logdir, capsys):
+        assert main([str(logdir), "--jobs", "auto"]) == 0
+        capsys.readouterr()
+        assert main([str(logdir), "--jobs", "2"]) == 0
+
+    def test_jobs_rejects_zero(self, logdir, capsys):
+        assert main([str(logdir), "--jobs", "0"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_jobs_rejects_garbage(self, logdir, capsys):
+        with pytest.raises(SystemExit):
+            main([str(logdir), "--jobs", "fast"])
+        assert "auto" in capsys.readouterr().err
+
     def test_offline_round_trip_matches_in_memory(self, logdir, single_app_run):
         """Mining the dumped text files reproduces the in-memory report."""
         from repro.core.checker import SDChecker

@@ -40,6 +40,26 @@ class TestCleanCorpus:
         report = SDChecker(jobs=4).analyze(GOLDEN)
         assert report.to_dict() == expected
 
+    @pytest.mark.parametrize("jobs", [1, 4])
+    def test_fast_path_matches_snapshot_and_legacy(self, jobs, expected):
+        """Byte-identity of the byte-oriented fast path at --jobs {1, 4}.
+
+        The report (including the diagnostics ledger) must match both
+        the pinned snapshot and a live run of the legacy record-stream
+        miner.
+        """
+        from repro.core.parser import LogMiner
+
+        checker = SDChecker(jobs=jobs)
+        report = checker.analyze(GOLDEN)
+        assert report.to_dict() == expected
+        legacy_checker = SDChecker(jobs=jobs)
+        legacy_checker._miner = LogMiner(fast=False)
+        legacy = legacy_checker.analyze(GOLDEN)
+        assert report.to_dict(include_diagnostics=True) == legacy.to_dict(
+            include_diagnostics=True
+        )
+
     def test_clean_corpus_has_clean_diagnostics(self):
         report = SDChecker().analyze(GOLDEN)
         assert report.diagnostics is not None

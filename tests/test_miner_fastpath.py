@@ -1,0 +1,385 @@
+"""Byte-oriented fast-path tests: chunk partitioning, two-phase
+scanning, and byte-identity against the legacy record-stream miner.
+
+The contract under test is exactness: for any directory corpus —
+including garbled bytes, drifted timestamps, duplicates, rotation
+segments, and adversarial chunk boundaries — ``LogMiner(fast=True)``
+must produce the same events *and the same diagnostics ledger* as
+``LogMiner(fast=False)``, serially and at any job count, for any chunk
+size.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.events import EventKind, SchedulingEvent
+from repro.core.parser import (
+    AUTO_JOBS,
+    AUTO_SERIAL_THRESHOLD_LINES,
+    LogMiner,
+    _gate_kind,
+    resolve_jobs,
+)
+from repro.logsys.diagnostics import StreamDiagnostics
+from repro.logsys.record import LogRecord
+from repro.logsys.store import LogStore, iter_file_lines, partition_file, read_chunk
+
+RM = "hadoop-resourcemanager"
+NM = "hadoop-nodemanager-node01"
+EXEC = "container_1515715200000_0001_01_000002"
+
+#: A tiny-chunk miner: every file is split into ~48-byte chunks, so a
+#: handful of log lines already exercises lines straddling partition
+#: points, chunks with no parsed record, and multi-chunk merges.
+TINY = dict(split_threshold=64, chunk_target=48)
+
+
+def _diag_dict(diagnostics):
+    return json.dumps(
+        {d: s.to_dict() for d, s in diagnostics.streams.items()}, sort_keys=True
+    )
+
+
+def _assert_identical(directory):
+    """Fast path == legacy, at jobs 1 and 4, whole-file and tiny chunks."""
+    legacy_events, legacy_diag = LogMiner(fast=False).mine_with_diagnostics(directory)
+    configs = (
+        (LogMiner(fast=True), 1),
+        (LogMiner(fast=True), 4),
+        (LogMiner(fast=True, **TINY), 1),
+        (LogMiner(fast=True, **TINY), 4),
+    )
+    for miner, jobs in configs:
+        if jobs == 1:
+            events, diag = miner.mine_with_diagnostics(directory)
+        else:
+            events, diag = miner.mine_parallel_with_diagnostics(directory, jobs=jobs)
+        assert events == legacy_events, f"events differ (jobs={jobs})"
+        assert _diag_dict(diag) == _diag_dict(legacy_diag), f"diag differ (jobs={jobs})"
+    return legacy_events
+
+
+def _write(tmp_path, name, lines, newline=True):
+    body = "\n".join(lines) + ("\n" if newline and lines else "")
+    (tmp_path / name).write_text(body, encoding="utf-8")
+
+
+class TestChunkReader:
+    """partition_file + read_chunk reconstruct every file exactly."""
+
+    def test_small_file_is_one_chunk(self, tmp_path):
+        path = tmp_path / "d.log"
+        path.write_bytes(b"a\nb\n")
+        assert partition_file(path) == [(0, 4)]
+
+    def test_partition_covers_file_contiguously(self, tmp_path):
+        path = tmp_path / "d.log"
+        path.write_bytes(b"x" * 1000)
+        ranges = partition_file(path, threshold=100, target=64)
+        assert ranges[0][0] == 0 and ranges[-1][1] == 1000
+        for (_, a_end), (b_start, _) in zip(ranges, ranges[1:]):
+            assert a_end == b_start
+
+    def test_chunks_reassemble_lines_exactly_once(self, tmp_path):
+        lines = [f"2018-01-12 00:00:{i:02d},000 INFO C: line {i}" for i in range(40)]
+        lines.insert(7, "noise without timestamp")
+        lines.insert(20, "")  # empty line
+        path = tmp_path / "d.log"
+        _write(tmp_path, "d.log", lines)
+        for target in (16, 48, 130, 4096):
+            ranges = partition_file(path, threshold=1, target=target)
+            buf = b"".join(read_chunk(path, s, e) for s, e in ranges)
+            assert buf == path.read_bytes()
+            # Every line is owned by exactly one range.
+            owned = [
+                ln
+                for s, e in ranges
+                for ln in read_chunk(path, s, e).split(b"\n")[:-1]
+            ]
+            assert owned == [ln.encode() for ln in lines]
+
+    def test_unterminated_tail_line_is_kept(self, tmp_path):
+        path = tmp_path / "d.log"
+        path.write_bytes(b"first line\nsecond without newline")
+        ranges = partition_file(path, threshold=4, target=8)
+        buf = b"".join(read_chunk(path, s, e) for s, e in ranges)
+        assert buf == path.read_bytes()
+
+    def test_byte_lines_match_text_reader(self, tmp_path):
+        path = tmp_path / "d.log"
+        path.write_bytes(b"a\nbb\n\nccc\nd")
+        text_lines = list(iter_file_lines(path))
+        size = path.stat().st_size
+        buf = read_chunk(path, 0, size)
+        byte_lines = buf.split(b"\n")
+        if byte_lines and byte_lines[-1] == b"":
+            byte_lines.pop()
+        assert [b.decode() for b in byte_lines] == text_lines
+
+
+class TestFastPathIdentity:
+    def test_clean_multi_stream_corpus(self, tmp_path):
+        app = "application_1515715200000_0001"
+        _write(
+            tmp_path,
+            f"{RM}.log",
+            [
+                f"2018-01-12 00:00:01,000 INFO x.RMAppImpl: {app} State change from NEW to SUBMITTED on event = START",
+                f"2018-01-12 00:00:02,000 INFO x.RMContainerImpl: {EXEC} Container Transitioned from NEW to ALLOCATED",
+                "2018-01-12 00:00:02,500 INFO x.Other: chatter line",
+            ],
+        )
+        _write(
+            tmp_path,
+            f"{NM}.log",
+            [
+                f"2018-01-12 00:00:03,000 INFO x.ContainerImpl: Container {EXEC} transitioned from NEW to LOCALIZING",
+            ],
+        )
+        _write(
+            tmp_path,
+            f"{EXEC}.log",
+            [
+                "2018-01-12 00:00:04,000 INFO org.apache.spark.executor.CoarseGrainedExecutorBackend: Started daemon",
+                "2018-01-12 00:00:05,000 INFO org.apache.spark.executor.Executor: Got assigned task 1",
+                "2018-01-12 00:00:06,000 INFO org.apache.spark.executor.Executor: Got assigned task 2",
+            ],
+        )
+        events = _assert_identical(tmp_path)
+        kinds = [e.kind for e in events]
+        assert EventKind.INSTANCE_FIRST_LOG in kinds
+        assert kinds.count(EventKind.FIRST_TASK) == 1  # first occurrence only
+
+    def test_line_spanning_partition_point(self, tmp_path):
+        # One long line crosses several 48-byte chunk boundaries; the
+        # ownership protocol must mine it exactly once.
+        long_msg = "Got assigned task 7" + " pad" * 40
+        _write(
+            tmp_path,
+            f"{EXEC}.log",
+            [
+                f"2018-01-12 00:00:01,000 INFO x.Exec: {long_msg}",
+                "2018-01-12 00:00:02,000 INFO x.Exec: Got assigned task 8",
+            ],
+        )
+        _assert_identical(tmp_path)
+
+    def test_rotation_segment_smaller_than_one_chunk(self, tmp_path):
+        # Rotated stream: the old segment is far below the split
+        # threshold while the live file is split — both orderings of
+        # segment size vs chunk size must merge chronologically.
+        _write(
+            tmp_path,
+            f"{EXEC}.log.1",
+            ["2018-01-12 00:00:01,000 INFO x.Exec: Got assigned task 1"],
+        )
+        _write(
+            tmp_path,
+            f"{EXEC}.log",
+            [
+                f"2018-01-12 00:00:0{i},000 INFO x.Exec: chatter number {i}"
+                for i in range(2, 9)
+            ],
+        )
+        events = _assert_identical(tmp_path)
+        first_log = [e for e in events if e.kind is EventKind.INSTANCE_FIRST_LOG]
+        assert first_log[0].timestamp == 1.0  # from the rotated segment
+
+    def test_first_log_when_first_chunk_is_all_noise(self, tmp_path):
+        # The stream's first *parsed* record sits in a later chunk; the
+        # merge must still synthesize FIRST_LOG from it.
+        _write(
+            tmp_path,
+            f"{EXEC}.log",
+            [
+                "garbled noise line one with no timestamp at all........",
+                "garbled noise line two with no timestamp at all........",
+                "2018-01-12 00:00:05,000 INFO x.Exec: real first record",
+            ],
+        )
+        events = _assert_identical(tmp_path)
+        assert events[0].kind is EventKind.INSTANCE_FIRST_LOG
+        assert events[0].timestamp == 5.0
+
+    def test_duplicates_and_reorder_across_boundaries(self, tmp_path):
+        line = "2018-01-12 00:00:05,000 INFO x.Exec: repeated message padpad"
+        early = "2018-01-12 00:00:01,000 INFO x.Exec: backwards jump padpad"
+        _write(tmp_path, f"{EXEC}.log", [line, line, line, early, line, line])
+        legacy_events, legacy_diag = LogMiner(fast=False).mine_with_diagnostics(
+            tmp_path
+        )
+        stream = legacy_diag.streams[EXEC]
+        assert stream.duplicate_records == 3 and stream.out_of_order == 1
+        _assert_identical(tmp_path)
+
+    def test_duplicate_straddling_rotation_segments(self, tmp_path):
+        line = "2018-01-12 00:00:05,000 INFO x.Exec: spans the rotation"
+        _write(tmp_path, f"{EXEC}.log.1", [line])
+        _write(tmp_path, f"{EXEC}.log", [line])
+        _, diag = LogMiner(fast=True).mine_with_diagnostics(tmp_path)
+        assert diag.streams[EXEC].duplicate_records == 1
+        _assert_identical(tmp_path)
+
+    def test_garbled_drifted_and_invalid_utf8(self, tmp_path):
+        (tmp_path / f"{RM}.log").write_bytes(
+            b"2018-01-12 00:00:01,000 INFO x.RMAppImpl: application_1_1000 State change from NEW to SUBMITTED on event = START\n"
+            b"2018-02-12 00:00:02,000 INFO x.Cls: drifted month\n"
+            b"not a log line at all\n"
+            b"2018-01-12 00:00:03,000 INFO x.Cls: bad \xff bytes\n"
+            b"2018-01-12 25:00:00,000 INFO x.Cls: hour alias of next day 01:00\n"
+        )
+        _assert_identical(tmp_path)
+
+    def test_empty_and_noise_only_files(self, tmp_path):
+        (tmp_path / f"{EXEC}.log").write_bytes(b"")
+        _write(tmp_path, f"{RM}.log", ["pure noise", "more noise"])
+        _write(tmp_path, "unknown-daemon.log", ["2018-01-12 00:00:01,000 INFO C: x"])
+        events = _assert_identical(tmp_path)
+        assert events == []
+        _, diag = LogMiner(fast=True).mine_with_diagnostics(tmp_path)
+        assert not diag.streams["unknown-daemon"].recognized
+        assert diag.streams[EXEC].lines_total == 0
+
+    LINE_POOL = (
+        "2018-01-12 00:00:01,000 INFO x.RMAppImpl: application_1_1000 State change from NEW to SUBMITTED on event = START",
+        "2018-01-12 00:00:02,000 INFO x.Exec: Got assigned task 3",
+        "2018-01-12 00:00:02,000 INFO x.Exec: Got assigned task 3",  # dup fodder
+        "2018-01-12 00:00:01,500 INFO x.Exec: chatter",
+        "2018-02-01 00:00:00,000 INFO x.Cls: drifted",
+        "2018-01-12 25:00:00,000 INFO x.Cls: hour alias",
+        "stack trace noise",
+        "",
+        "2018-01-12 00:00:03,000 INFO x.Cls: café ünïcode",
+        "2018-01-12 00:00:0٣,000 INFO x.Cls: unicode digit",
+    )
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        picks=st.lists(st.integers(0, len(LINE_POOL) - 1), max_size=25),
+        daemon=st.sampled_from([RM, NM, EXEC, "weird-daemon"]),
+        terminated=st.booleans(),
+    )
+    def test_metamorphic_identity_on_line_soup(
+        self, tmp_path_factory, picks, daemon, terminated
+    ):
+        tmp_path = tmp_path_factory.mktemp("soup")
+        lines = [self.LINE_POOL[i] for i in picks]
+        _write(tmp_path, f"{daemon}.log", lines, newline=terminated)
+        _assert_identical(tmp_path)
+
+
+class TestFirstEventIndexEquivalence:
+    """Traces built from fast-path events index identically to legacy."""
+
+    def test_first_event_index_fast_vs_legacy(self, tmp_path):
+        from repro.core.grouping import group_events
+
+        app = "application_1515715200000_0001"
+        _write(
+            tmp_path,
+            f"{RM}.log",
+            [
+                f"2018-01-12 00:00:01,000 INFO x.RMAppImpl: {app} State change from NEW to SUBMITTED on event = START",
+                f"2018-01-12 00:00:02,000 INFO x.RMAppImpl: {app} State change from SUBMITTED to ACCEPTED on event = APP_ACCEPTED",
+                f"2018-01-12 00:00:03,000 INFO x.RMContainerImpl: {EXEC} Container Transitioned from NEW to ALLOCATED",
+            ],
+        )
+        _write(
+            tmp_path,
+            f"{EXEC}.log",
+            [
+                "2018-01-12 00:00:04,000 INFO x.Exec: started",
+                "2018-01-12 00:00:05,000 INFO x.Exec: Got assigned task 0",
+            ],
+        )
+        fast_traces = group_events(LogMiner(fast=True, **TINY).mine(tmp_path))
+        legacy_traces = group_events(LogMiner(fast=False).mine(tmp_path))
+        assert fast_traces.keys() == legacy_traces.keys()
+        for app_id in fast_traces:
+            fast_trace, legacy_trace = fast_traces[app_id], legacy_traces[app_id]
+            for kind in EventKind:
+                assert fast_trace.first(kind) == legacy_trace.first(kind)
+
+
+class TestGateKind:
+    """Phase-1 gating must mirror the legacy per-daemon dispatch."""
+
+    @pytest.mark.parametrize(
+        "daemon,expected",
+        [
+            (RM, "rm"),
+            ("hadoop-resourcemanager-host2", "rm"),
+            (NM, "nm"),
+            (EXEC, "container"),
+            ("container_e17_1515715200000_0001_01_000002", "container"),
+            ("weird-daemon", None),
+            ("resourcemanager", None),
+        ],
+    )
+    def test_gate_kind(self, daemon, expected):
+        assert _gate_kind(daemon) == expected
+
+
+class TestSlotsAndPickling:
+    """Workers ship these across the process boundary: slots must not
+    break pickling (frozen dataclasses with slots need no __dict__)."""
+
+    def test_hot_classes_have_slots(self):
+        for cls in (LogRecord, SchedulingEvent, StreamDiagnostics):
+            assert not hasattr(cls(**_ctor_args(cls)), "__dict__"), cls
+
+    @pytest.mark.parametrize("cls", [LogRecord, SchedulingEvent, StreamDiagnostics])
+    def test_pickle_round_trip(self, cls):
+        instance = cls(**_ctor_args(cls))
+        clone = pickle.loads(pickle.dumps(instance))
+        assert clone == instance
+
+
+def _ctor_args(cls):
+    if cls is LogRecord:
+        return dict(timestamp=1.5, cls="x.Cls", message="m", level="WARN")
+    if cls is SchedulingEvent:
+        return dict(
+            kind=EventKind.FIRST_TASK,
+            timestamp=2.0,
+            app_id="application_1_1000",
+            container_id="container_1_1000_01_000001",
+            daemon="container_1_1000_01_000001",
+            source_class="x.Exec",
+        )
+    return dict(daemon="d", lines_total=3, records_parsed=2, dropped_garbled=1)
+
+
+class TestResolveJobs:
+    def test_explicit_counts_pass_through(self, tmp_path):
+        assert resolve_jobs(1, tmp_path) == 1
+        assert resolve_jobs(7, tmp_path) == 7
+
+    def test_auto_is_serial_on_one_cpu(self, tmp_path, monkeypatch):
+        import repro.core.parser as parser_mod
+
+        monkeypatch.setattr(parser_mod, "available_cpus", lambda: 1)
+        big = tmp_path / "big.log"
+        big.write_bytes(b"x" * (AUTO_SERIAL_THRESHOLD_LINES * 200))
+        assert resolve_jobs(AUTO_JOBS, tmp_path) == 1
+
+    def test_auto_is_serial_below_line_threshold(self, tmp_path, monkeypatch):
+        import repro.core.parser as parser_mod
+
+        monkeypatch.setattr(parser_mod, "available_cpus", lambda: 8)
+        (tmp_path / "small.log").write_bytes(b"short corpus\n")
+        assert resolve_jobs(AUTO_JOBS, tmp_path) == 1
+        assert resolve_jobs(AUTO_JOBS, LogStore()) == 1
+
+    def test_auto_parallelizes_large_directories(self, tmp_path, monkeypatch):
+        import repro.core.parser as parser_mod
+
+        monkeypatch.setattr(parser_mod, "available_cpus", lambda: 8)
+        big = tmp_path / "big.log"
+        big.write_bytes(b"x" * (AUTO_SERIAL_THRESHOLD_LINES * 200))
+        assert resolve_jobs(AUTO_JOBS, tmp_path) > 1
