@@ -3,7 +3,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-miner bench-paper examples fuzz-smoke lint clean
+.PHONY: install test bench bench-miner bench-live bench-paper examples fuzz-smoke live-smoke lint clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -21,6 +21,17 @@ bench-paper:
 # baseline); appends a trajectory point to benchmarks/results/BENCH_miner.json.
 bench-miner:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_miner_throughput.py -q -s
+
+# Live-mining ingest + query-latency benchmark; appends a trajectory
+# point to benchmarks/results/BENCH_live.json.
+bench-live:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_live_throughput.py -q -s
+
+# End-to-end smoke of the live subsystem: the watch/serve/query CLI,
+# the replay-equivalence contract, and the smoke-mode throughput bars.
+live-smoke:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/test_live_smoke.py tests/test_live_server.py -q
+	REPRO_BENCH_SMOKE=1 PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_live_throughput.py -q -s
 
 # Seeded corruption sweep over the golden corpus: every catalog
 # corruption x seed must leave analyze() crash-free, and the

@@ -1,0 +1,161 @@
+"""Live-mining throughput and query latency under concurrent load.
+
+Feeds the synthetic multi-application corpus (shared with the miner
+benchmark) through a :class:`~repro.live.incremental.LiveSession` in
+poll-sized increments, measuring sustained ingest lines/s, then serves
+the session and hammers it from concurrent client threads to measure
+p99 query latency.  Appends a trajectory point to
+``benchmarks/results/BENCH_live.json``.
+
+Bars (all modes, including the ``REPRO_BENCH_SMOKE=1`` CI job):
+
+* the drained live report must equal the batch report — the replay
+  equivalence contract, re-checked at benchmark scale;
+* sustained ingest must clear a conservative floor (the live path
+  shares the batch fast path's scanner, so it must not be orders of
+  magnitude slower);
+* p99 query latency under concurrent load must stay interactive.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from benchmarks.test_miner_throughput import build_corpus, corpus_apps
+from repro.core.checker import SDChecker
+from repro.live import LiveClient, LiveSession, serve_in_thread
+
+RESULTS_DIR = Path(__file__).parent / "results"
+BENCH_FILE = RESULTS_DIR / "BENCH_live.json"
+
+#: Ingest increments: the corpus arrives over this many poll rounds.
+_POLL_ROUNDS = 16
+#: Concurrent query clients and requests per client.
+_CLIENTS = {"smoke": 2, "small": 4, "paper": 8}
+_REQUESTS_PER_CLIENT = {"smoke": 25, "small": 100, "paper": 300}
+
+#: Conservative floors/ceilings — regression tripwires, not records.
+#: The smoke corpus is so small that fixed per-poll overhead (directory
+#: stats, report rebuilds) dominates, so its floor is far below the
+#: steady-state number (~120k lines/s at the ``small`` scale).
+_MIN_INGEST_LPS = {"smoke": 3_000, "small": 30_000, "paper": 30_000}
+_MAX_QUERY_P99_S = 0.5
+
+
+def _record_point(point: dict) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    history = []
+    if BENCH_FILE.exists():
+        history = json.loads(BENCH_FILE.read_text(encoding="utf-8"))
+    history.append(point)
+    BENCH_FILE.write_text(json.dumps(history, indent=2) + "\n", encoding="utf-8")
+
+
+def _grow_in_rounds(src_dir: Path, live_dir: Path, rounds: int):
+    """Yield after each round of appending 1/rounds of every file."""
+    blobs = {
+        path.name: path.read_bytes() for path in sorted(src_dir.iterdir())
+    }
+    for name in blobs:
+        (live_dir / name).write_bytes(b"")
+    for i in range(1, rounds + 1):
+        for name, blob in blobs.items():
+            start = len(blob) * (i - 1) // rounds
+            end = len(blob) * i // rounds
+            if end > start:
+                with (live_dir / name).open("ab") as handle:
+                    handle.write(blob[start:end])
+        yield i
+
+
+def test_live_throughput(scale, tmp_path):
+    mode = "smoke" if os.environ.get("REPRO_BENCH_SMOKE") else scale
+    store = build_corpus(mode)
+    lines = len(store)
+    src_dir = tmp_path / "finished"
+    store.dump(src_dir)
+
+    # -- sustained ingest: the corpus arrives over _POLL_ROUNDS polls --
+    live_dir = tmp_path / "growing"
+    live_dir.mkdir()
+    session = LiveSession(live_dir)
+    ingest_seconds = 0.0
+    for _ in _grow_in_rounds(src_dir, live_dir, _POLL_ROUNDS):
+        start = time.perf_counter()
+        session.poll()
+        ingest_seconds += time.perf_counter() - start
+    start = time.perf_counter()
+    live_report = session.drain()
+    ingest_seconds += time.perf_counter() - start
+    ingest_lps = lines / ingest_seconds if ingest_seconds > 0 else float("inf")
+
+    # -- equivalence at benchmark scale ---------------------------------
+    batch_report = SDChecker(jobs=1).analyze(src_dir)
+    assert live_report.to_dict(include_diagnostics=True) == batch_report.to_dict(
+        include_diagnostics=True
+    )
+
+    # -- p99 query latency under concurrent load ------------------------
+    clients = _CLIENTS[mode]
+    requests = _REQUESTS_PER_CLIENT[mode]
+    app_ids = [app.app_id for app in live_report.apps]
+    handle = serve_in_thread(session, poll_interval=0.05)
+    latencies: list = [None] * clients
+    try:
+
+        def worker(slot: int) -> None:
+            mine = []
+            with LiveClient(handle.host, handle.port, timeout=30.0) as client:
+                for i in range(requests):
+                    started = time.perf_counter()
+                    if i % 3 == 2:
+                        client.decomposition(app_ids[i % len(app_ids)])
+                    else:
+                        client.apps()
+                    mine.append(time.perf_counter() - started)
+            latencies[slot] = mine
+
+        threads = [
+            threading.Thread(target=worker, args=(slot,))
+            for slot in range(clients)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    finally:
+        handle.stop()
+    flat = np.array([sample for batch in latencies for sample in batch])
+    p50_s = float(np.percentile(flat, 50))
+    p99_s = float(np.percentile(flat, 99))
+
+    point = {
+        "mode": mode,
+        "corpus_lines": lines,
+        "apps": corpus_apps(mode),
+        "poll_rounds": _POLL_ROUNDS,
+        "ingest_lps": round(ingest_lps),
+        "query_clients": clients,
+        "queries_total": int(flat.size),
+        "query_p50_ms": round(p50_s * 1000, 2),
+        "query_p99_ms": round(p99_s * 1000, 2),
+    }
+    _record_point(point)
+    print()
+    print(json.dumps(point))
+
+    # The smoke-mode bars CI enforces on every push.
+    floor = _MIN_INGEST_LPS[mode]
+    assert ingest_lps >= floor, (
+        f"live ingest {ingest_lps:.0f} lines/s below the {floor} floor"
+    )
+    assert p99_s <= _MAX_QUERY_P99_S, (
+        f"query p99 {p99_s * 1000:.1f}ms above the "
+        f"{_MAX_QUERY_P99_S * 1000:.0f}ms ceiling"
+    )

@@ -9,8 +9,13 @@ promise byte-identical reports.  Four source patterns break them:
   :class:`repro.simul.distributions.RandomSource` (the one sanctioned
   wrapper, which is itself exempt);
 * **SD302 wall-clock** — ``time.time()``/``datetime.now()`` and
-  friends: simulated time must come from the engine clock, never the
-  host;
+  friends (including the ``localtime``/``gmtime``/``ctime`` family):
+  simulated time must come from the engine clock, never the host, and
+  the :mod:`repro.live` session must order and stamp nothing by host
+  time — its reports must replay byte-identically, so only log-derived
+  timestamps and monotonic-free counters are allowed (``time.sleep``
+  and ``asyncio.sleep`` pace polling without *reading* a clock and stay
+  sanctioned);
 * **SD303 unordered-iteration** — ``for`` loops (or comprehensions)
   driven directly by a ``set``/``frozenset`` expression, whose
   iteration order varies across processes when elements are
@@ -49,6 +54,9 @@ _WALL_CLOCK_CALLS = frozenset(
         "time.monotonic_ns",
         "time.perf_counter",
         "time.perf_counter_ns",
+        "time.localtime",
+        "time.gmtime",
+        "time.ctime",
         "datetime.datetime.now",
         "datetime.datetime.utcnow",
         "datetime.datetime.today",

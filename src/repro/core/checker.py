@@ -14,7 +14,28 @@ from repro.core.parser import AUTO_JOBS, LogMiner, resolve_jobs
 from repro.core.report import AnalysisReport
 from repro.logsys.store import LogStore
 
-__all__ = ["SDChecker"]
+__all__ = ["SDChecker", "analyze_events"]
+
+
+def analyze_events(events, diagnostics=None) -> AnalysisReport:
+    """Steps 2-5 over already-mined events: group, decompose, report.
+
+    Shared by the batch :meth:`SDChecker.analyze` facade and the
+    incremental :mod:`repro.live` session (which mines as the logs
+    grow, then runs exactly this tail) — one code path is what makes a
+    drained live report byte-identical to a batch one.
+    """
+    traces = group_events(events, diagnostics=diagnostics)
+    apps = [decompose(trace) for trace in traces.values()]
+    if diagnostics is not None:
+        for app in apps:
+            diagnostics.apps[app.app_id] = AppDiagnostics(
+                app_id=app.app_id,
+                missing_components=app.missing_components(),
+                skew_warnings=app.skew_warnings(),
+            )
+    findings = find_unused_containers(traces)
+    return AnalysisReport(apps=apps, bug_findings=findings, diagnostics=diagnostics)
 
 
 class SDChecker:
@@ -77,15 +98,4 @@ class SDChecker:
         :class:`~repro.core.diagnostics.MiningDiagnostics`.
         """
         events, diagnostics = self.mine_with_diagnostics(source)
-        traces = group_events(events, diagnostics=diagnostics)
-        apps = [decompose(trace) for trace in traces.values()]
-        for app in apps:
-            diagnostics.apps[app.app_id] = AppDiagnostics(
-                app_id=app.app_id,
-                missing_components=app.missing_components(),
-                skew_warnings=app.skew_warnings(),
-            )
-        findings = find_unused_containers(traces)
-        return AnalysisReport(
-            apps=apps, bug_findings=findings, diagnostics=diagnostics
-        )
+        return analyze_events(events, diagnostics=diagnostics)

@@ -89,7 +89,14 @@ from repro.logsys.store import (
     stream_segments,
 )
 
-__all__ = ["LogMiner", "AUTO_JOBS", "available_cpus", "resolve_jobs"]
+__all__ = [
+    "LogMiner",
+    "AUTO_JOBS",
+    "JOBS_ENV_VAR",
+    "StreamEventAccumulator",
+    "available_cpus",
+    "resolve_jobs",
+]
 
 _CONTAINER_DAEMON_RE = msg.CONTAINER_ID_RE
 
@@ -109,6 +116,11 @@ _StreamTask = Tuple[
 #: Sentinel accepted wherever a job count is taken: pick the worker
 #: count from the machine and the corpus via :func:`resolve_jobs`.
 AUTO_JOBS = "auto"
+
+#: Environment override consulted when the jobs request is ``auto``:
+#: ``serial``, ``auto``, or a positive worker count.  An explicit
+#: ``--jobs N`` flag always beats it (CLI flag > env > auto).
+JOBS_ENV_VAR = "REPRO_JOBS"
 
 #: Corpora below this many (estimated) lines mine faster serially than
 #: they can amortize ProcessPoolExecutor spin-up and teardown (~100 ms
@@ -810,18 +822,13 @@ def _mine_chunk_task(
     return _scan_chunk(daemon, gate, read_chunk(path, start, end))
 
 
-def _merge_stream_chunks(
-    daemon: str,
-    gate: Optional[str],
-    segments: int,
-    scans: Iterable[tuple],
-) -> Tuple[List[SchedulingEvent], StreamDiagnostics]:
-    """Stitch one stream's per-chunk scans back into stream semantics.
+class StreamEventAccumulator:
+    """Stitches one stream's per-chunk scans back into stream semantics.
 
-    Chunks arrive in (segment, offset) order, so concatenating their
-    event tuples reproduces log order.  Three pieces of per-stream
-    state span chunk boundaries and are reconstructed here exactly as
-    the record-stream path computes them:
+    Chunks must be absorbed in (segment, offset) order, so
+    concatenating their event tuples reproduces log order.  Three
+    pieces of per-stream state span chunk boundaries and are
+    reconstructed here exactly as the record-stream path computes them:
 
     * the duplicate / out-of-order ledger compares each chunk's first
       parsed record against the previous chunk's last — chunks with no
@@ -832,70 +839,165 @@ def _merge_stream_chunks(
       *within* a chunk);
     * the positional INSTANCE_FIRST_LOG is synthesized from the first
       parsed record of the stream (container streams only).
+
+    The accumulator is the chunk-arrival-schedule-independence contract
+    in one object: the batch fast path folds a whole directory through
+    it at once, and :mod:`repro.live` folds the *same* bytes through it
+    one tail-poll at a time — both end in identical state, which is why
+    a drained live session's report is byte-identical to batch mining.
+    Its state is plain data (:meth:`to_state` / :meth:`from_state`) so
+    a live session can checkpoint mid-stream and resume.
     """
-    diagnostics = StreamDiagnostics(
-        daemon=daemon, segments=max(1, segments), recognized=gate is not None
+
+    __slots__ = (
+        "daemon",
+        "gate",
+        "segments",
+        "compact",
+        "first_key",
+        "previous_last",
+        "saw_task",
+        "saw_mr_done",
+        "counters",
     )
-    compact: List[tuple] = []
-    first_key: Optional[tuple] = None
-    previous_last: Optional[tuple] = None
-    saw_task = False
-    saw_mr_done = False
-    for chunk_events, counters, chunk_first, chunk_last in scans:
-        lines_total, parsed, garbled, bad_ts, replacements, dups, ooo = counters
-        diagnostics.lines_total += lines_total
-        diagnostics.records_parsed += parsed
-        diagnostics.dropped_garbled += garbled
-        diagnostics.dropped_bad_timestamp += bad_ts
-        diagnostics.encoding_replacements += replacements
-        diagnostics.duplicate_records += dups
-        diagnostics.out_of_order += ooo
+
+    def __init__(self, daemon: str, gate: Optional[str], segments: int = 1):
+        self.daemon = daemon
+        self.gate = gate
+        self.segments = segments
+        #: Deduplicated compact event tuples, in stream order.
+        self.compact: List[tuple] = []
+        self.first_key: Optional[tuple] = None
+        self.previous_last: Optional[tuple] = None
+        self.saw_task = False
+        self.saw_mr_done = False
+        #: (lines_total, records_parsed, dropped_garbled,
+        #: dropped_bad_timestamp, encoding_replacements,
+        #: duplicate_records, out_of_order) — same layout as the
+        #: counter tuple :func:`_scan_chunk` returns.
+        self.counters = [0, 0, 0, 0, 0, 0, 0]
+
+    def absorb(self, scan: tuple) -> List[tuple]:
+        """Fold one :func:`_scan_chunk` result in; the accepted tuples.
+
+        Returns the compact event tuples that survived stream-level
+        deduplication (so an incremental caller can track which
+        applications just gained events) — the batch merge ignores it.
+        """
+        chunk_events, counters, chunk_first, chunk_last = scan
+        for i, value in enumerate(counters):
+            self.counters[i] += value
         if chunk_first is not None:
-            if previous_last is not None:
-                if chunk_first == previous_last:
-                    diagnostics.duplicate_records += 1
-                elif chunk_first[0] < previous_last[0]:
-                    diagnostics.out_of_order += 1
-            if first_key is None:
-                first_key = chunk_first
-            previous_last = chunk_last
+            if self.previous_last is not None:
+                if chunk_first == self.previous_last:
+                    self.counters[5] += 1  # boundary-straddling duplicate
+                elif chunk_first[0] < self.previous_last[0]:
+                    self.counters[6] += 1  # boundary-straddling reorder
+            if self.first_key is None:
+                self.first_key = chunk_first
+            self.previous_last = chunk_last
+        accepted: List[tuple] = []
         for event in chunk_events:
             kind_value = event[0]
             if kind_value == _FIRST_TASK_VALUE:
-                if saw_task:
+                if self.saw_task:
                     continue
-                saw_task = True
+                self.saw_task = True
             elif kind_value == _MR_TASK_DONE_VALUE:
-                if saw_mr_done:
+                if self.saw_mr_done:
                     continue
-                saw_mr_done = True
-            compact.append(event)
-    events: List[SchedulingEvent] = []
-    if gate == "container" and first_key is not None:
-        ts, _level, cls, message = first_key
-        events.append(
-            SchedulingEvent(
-                EventKind.INSTANCE_FIRST_LOG,
-                ts,
-                msg.app_id_of_container(daemon),
-                daemon,
-                daemon,
-                source_class=cls,
-                detail=message,
-            )
+                self.saw_mr_done = True
+            accepted.append(event)
+        self.compact.extend(accepted)
+        return accepted
+
+    def diagnostics(self) -> StreamDiagnostics:
+        """A fresh ledger snapshot of everything absorbed so far."""
+        lines_total, parsed, garbled, bad_ts, replacements, dups, ooo = self.counters
+        return StreamDiagnostics(
+            daemon=self.daemon,
+            segments=max(1, self.segments),
+            lines_total=lines_total,
+            records_parsed=parsed,
+            dropped_garbled=garbled,
+            dropped_bad_timestamp=bad_ts,
+            encoding_replacements=replacements,
+            duplicate_records=dups,
+            out_of_order=ooo,
+            recognized=self.gate is not None,
         )
-    for kind_value, ts, app_id, container_id, source_class in compact:
-        events.append(
-            SchedulingEvent(
-                _KIND_BY_VALUE[kind_value],
-                ts,
-                app_id,
-                container_id,
-                daemon,
-                source_class=source_class,
+
+    def events(self) -> List[SchedulingEvent]:
+        """Rehydrate the stream's events, INSTANCE_FIRST_LOG included."""
+        events: List[SchedulingEvent] = []
+        if self.gate == "container" and self.first_key is not None:
+            ts, _level, cls, message = self.first_key
+            events.append(
+                SchedulingEvent(
+                    EventKind.INSTANCE_FIRST_LOG,
+                    ts,
+                    msg.app_id_of_container(self.daemon),
+                    self.daemon,
+                    self.daemon,
+                    source_class=cls,
+                    detail=message,
+                )
             )
+        for kind_value, ts, app_id, container_id, source_class in self.compact:
+            events.append(
+                SchedulingEvent(
+                    _KIND_BY_VALUE[kind_value],
+                    ts,
+                    app_id,
+                    container_id,
+                    self.daemon,
+                    source_class=source_class,
+                )
+            )
+        return events
+
+    # -- checkpointing -----------------------------------------------------
+    def to_state(self) -> dict:
+        """JSON-serializable snapshot of the whole stitching state."""
+        return {
+            "daemon": self.daemon,
+            "gate": self.gate,
+            "segments": self.segments,
+            "compact": [list(event) for event in self.compact],
+            "first_key": list(self.first_key) if self.first_key else None,
+            "previous_last": (
+                list(self.previous_last) if self.previous_last else None
+            ),
+            "saw_task": self.saw_task,
+            "saw_mr_done": self.saw_mr_done,
+            "counters": list(self.counters),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "StreamEventAccumulator":
+        acc = cls(state["daemon"], state["gate"], segments=state["segments"])
+        acc.compact = [tuple(event) for event in state["compact"]]
+        acc.first_key = tuple(state["first_key"]) if state["first_key"] else None
+        acc.previous_last = (
+            tuple(state["previous_last"]) if state["previous_last"] else None
         )
-    return events, diagnostics
+        acc.saw_task = state["saw_task"]
+        acc.saw_mr_done = state["saw_mr_done"]
+        acc.counters = list(state["counters"])
+        return acc
+
+
+def _merge_stream_chunks(
+    daemon: str,
+    gate: Optional[str],
+    segments: int,
+    scans: Iterable[tuple],
+) -> Tuple[List[SchedulingEvent], StreamDiagnostics]:
+    """Stitch one stream's per-chunk scans via :class:`StreamEventAccumulator`."""
+    acc = StreamEventAccumulator(daemon, gate, segments=segments)
+    for scan in scans:
+        acc.absorb(scan)
+    return acc.events(), acc.diagnostics()
 
 
 def available_cpus() -> int:
@@ -906,10 +1008,43 @@ def available_cpus() -> int:
         return os.cpu_count() or 1
 
 
+def _jobs_from_env() -> Union[int, str, None]:
+    """The :data:`JOBS_ENV_VAR` override, validated, or None when unset.
+
+    Accepted values: ``serial`` (force one worker), ``auto`` (the
+    machine/corpus heuristic), or a positive worker count.  Anything
+    else raises — a silently ignored operator override is worse than a
+    loud one.
+    """
+    raw = os.environ.get(JOBS_ENV_VAR)
+    if raw is None:
+        return None
+    value = raw.strip().lower()
+    if value == "serial":
+        return 1
+    if value == AUTO_JOBS:
+        return AUTO_JOBS
+    try:
+        count = int(value)
+    except ValueError:
+        count = 0
+    if count < 1:
+        raise ValueError(
+            f"{JOBS_ENV_VAR} must be 'serial', 'auto', or a positive "
+            f"worker count, got {raw!r}"
+        )
+    return count
+
+
 def resolve_jobs(
     jobs: Union[int, str], source: Union[LogStore, str, Path]
 ) -> int:
     """Resolve a jobs request (a count or :data:`AUTO_JOBS`) for ``source``.
+
+    Precedence: an explicit count (the CLI's ``--jobs N``) always wins;
+    otherwise the :data:`JOBS_ENV_VAR` environment override applies
+    (``serial`` / ``auto`` / a count), so operators can tune mining
+    parallelism fleet-wide without editing flags; otherwise ``auto``.
 
     ``auto`` picks serial mining unless both the machine and the corpus
     can profit from workers: on a single usable CPU, workers only add
@@ -917,6 +1052,10 @@ def resolve_jobs(
     pool spin-up outweighs any speedup.  Directory corpora are sized by
     bytes — no line scan — via the observed mean line length.
     """
+    if jobs == AUTO_JOBS:
+        env = _jobs_from_env()
+        if env is not None:
+            jobs = env
     if jobs != AUTO_JOBS:
         return int(jobs)
     cpus = available_cpus()

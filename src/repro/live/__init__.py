@@ -1,0 +1,45 @@
+"""repro.live — incremental log tailing, mining, and serving.
+
+The batch :class:`~repro.core.checker.SDChecker` answers "what was the
+scheduling delay?" after a run finishes.  This package answers it
+*while the run is happening*, without giving up the batch answer:
+
+* :mod:`repro.live.tailer` — rotation-aware tailing of a growing log
+  directory (inode-keyed cursors, complete-line ownership, truncation
+  re-sync);
+* :mod:`repro.live.incremental` — chunk-at-a-time mining through the
+  batch fast path's scanner and accumulator, per-app provisional→final
+  status, checkpoint/resume;
+* :mod:`repro.live.metrics` — a dependency-free counters/gauges/
+  histograms registry rendered in Prometheus text format;
+* :mod:`repro.live.server` / :mod:`repro.live.client` — a JSON-lines
+  query server (bounded per-connection write queues) and its blocking
+  client;
+* :mod:`repro.live.cli` — ``python -m repro.live {watch,serve,query}``.
+
+The contract that makes the live answer trustworthy: once the
+directory stops growing, a drained session's report is byte-identical
+to a batch run over the same directory, for *any* schedule of chunk
+arrivals — pinned by the metamorphic replay suite.
+"""
+
+from repro.live.client import LiveClient, QueryError
+from repro.live.incremental import LiveMiner, LiveSession
+from repro.live.metrics import MetricsRegistry, build_live_registry
+from repro.live.server import LiveServer, ServerHandle, serve_in_thread
+from repro.live.tailer import DirectoryTailer, StreamTailer, TailChunk
+
+__all__ = [
+    "DirectoryTailer",
+    "LiveClient",
+    "LiveMiner",
+    "LiveServer",
+    "LiveSession",
+    "MetricsRegistry",
+    "QueryError",
+    "ServerHandle",
+    "StreamTailer",
+    "TailChunk",
+    "build_live_registry",
+    "serve_in_thread",
+]

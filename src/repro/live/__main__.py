@@ -1,0 +1,8 @@
+"""Entry point so ``python -m repro.live`` runs the live-mining CLI."""
+
+import sys
+
+from repro.live.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

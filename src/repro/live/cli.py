@@ -1,0 +1,208 @@
+"""Command-line interface: ``python -m repro.live {watch,serve,query}``.
+
+* ``watch``  — tail a growing log directory in the foreground, report
+  progress as applications arrive, and emit the final (batch-identical)
+  analysis once the directory goes quiet.
+* ``serve``  — same tailing, plus the JSON-lines query/metrics server.
+* ``query``  — one request against a running server, result to stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+from typing import List, Optional
+
+from repro.live.client import LiveClient, QueryError
+from repro.live.incremental import LiveSession
+from repro.live.server import LiveServer
+
+__all__ = ["main", "build_arg_parser"]
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.live",
+        description=(
+            "Incrementally mine scheduling delay from a growing log "
+            "directory, and serve the running decomposition."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    watch = sub.add_parser(
+        "watch", help="tail a directory until it goes quiet, then report"
+    )
+    watch.add_argument("logdir", help="directory of growing <daemon>.log files")
+    watch.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="delay between directory polls (default 0.5)",
+    )
+    watch.add_argument(
+        "--idle-polls",
+        type=int,
+        default=3,
+        metavar="N",
+        help=(
+            "drain after N consecutive polls with no new events and no "
+            "tail lag (default 3)"
+        ),
+    )
+    watch.add_argument(
+        "--max-polls",
+        type=int,
+        default=0,
+        metavar="N",
+        help="hard stop after N polls; 0 means no limit (default)",
+    )
+    watch.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        help="persist cursors + mining state to PATH after every poll",
+    )
+    watch.add_argument(
+        "--resume",
+        metavar="PATH",
+        help="restore a previous session from a checkpoint file",
+    )
+    watch.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+
+    serve = sub.add_parser(
+        "serve", help="tail a directory and serve queries over JSON lines"
+    )
+    serve.add_argument("logdir", help="directory of growing <daemon>.log files")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7461)
+    serve.add_argument(
+        "--poll-interval", type=float, default=0.25, metavar="SECONDS"
+    )
+    serve.add_argument("--checkpoint", metavar="PATH")
+    serve.add_argument("--resume", metavar="PATH")
+
+    query = sub.add_parser("query", help="one request against a running server")
+    query.add_argument(
+        "op",
+        choices=("apps", "decomposition", "diagnostics", "metrics", "shutdown"),
+    )
+    query.add_argument(
+        "app_id", nargs="?", help="application ID (decomposition only)"
+    )
+    query.add_argument("--host", default="127.0.0.1")
+    query.add_argument("--port", type=int, default=7461)
+    query.add_argument("--timeout", type=float, default=10.0)
+    return parser
+
+
+def _build_session(args: argparse.Namespace) -> LiveSession:
+    if args.resume:
+        return LiveSession.from_checkpoint(
+            args.resume,
+            directory=args.logdir,
+            checkpoint_path=args.checkpoint or args.resume,
+        )
+    return LiveSession(args.logdir, checkpoint_path=args.checkpoint)
+
+
+def _run_watch(args: argparse.Namespace) -> int:
+    session = _build_session(args)
+    idle = 0
+    polls = 0
+    while True:
+        new_events = session.poll()
+        polls += 1
+        if new_events:
+            idle = 0
+            report = session.report()
+            final = sum(
+                1 for app in report.apps if session.app_status(app.app_id) == "final"
+            )
+            print(
+                f"poll {polls}: +{new_events} events, "
+                f"{len(report.apps)} apps ({final} final), "
+                f"lag {session.tailer.tail_lag_bytes}B",
+                file=sys.stderr,
+            )
+        elif session.tailer.tail_lag_bytes == 0:
+            idle += 1
+        if idle >= args.idle_polls:
+            break
+        if args.max_polls and polls >= args.max_polls:
+            break
+        time.sleep(args.poll_interval)
+    report = session.drain()
+    if args.json:
+        json.dump(report.to_dict(include_diagnostics=True), sys.stdout, indent=2)
+        print()
+    else:
+        print(report.summary())
+    return 0
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    session = _build_session(args)
+
+    async def _serve() -> None:
+        server = LiveServer(
+            session,
+            host=args.host,
+            port=args.port,
+            poll_interval=args.poll_interval,
+        )
+        await server.start()
+        print(
+            f"repro.live serving {args.logdir} on "
+            f"{args.host}:{server.bound_port}",
+            file=sys.stderr,
+        )
+        await server.serve_until_shutdown()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _run_query(args: argparse.Namespace) -> int:
+    if args.op == "decomposition" and not args.app_id:
+        print("error: decomposition requires an app_id", file=sys.stderr)
+        return 2
+    try:
+        with LiveClient(args.host, args.port, timeout=args.timeout) as client:
+            if args.op == "metrics":
+                sys.stdout.write(client.metrics())
+            elif args.op == "decomposition":
+                json.dump(client.decomposition(args.app_id), sys.stdout, indent=2)
+                print()
+            else:
+                call = {
+                    "apps": client.apps,
+                    "diagnostics": client.diagnostics,
+                    "shutdown": client.shutdown,
+                }[args.op]
+                json.dump(call(), sys.stdout, indent=2)
+                print()
+    except (ConnectionError, OSError) as exc:
+        print(f"error: cannot reach {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 1
+    except QueryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_arg_parser().parse_args(argv)
+    if args.command == "watch":
+        return _run_watch(args)
+    if args.command == "serve":
+        return _run_serve(args)
+    return _run_query(args)

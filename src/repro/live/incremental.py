@@ -1,0 +1,372 @@
+"""Incremental mining over a tailed log directory.
+
+:class:`LiveMiner` feeds each newly tailed byte chunk through the batch
+fast path's phase-1/2 scanner (:func:`repro.core.parser._scan_chunk`)
+and folds the result into the *same*
+:class:`~repro.core.parser.StreamEventAccumulator` the batch chunk
+merge uses.  Because the accumulator's stitching is independent of how
+the stream's bytes were cut into chunks, a live session that has
+consumed a directory in any number of polls holds exactly the state a
+batch run over the finished directory would compute — that is the
+replay-equivalence contract the hypothesis suite pins.
+
+:class:`LiveSession` adds the serving-side bookkeeping on top:
+
+* per-application status — **provisional** while events are still
+  arriving, upgraded to **final** exactly when the paper's terminal
+  transition (``APP_FINISHED``, message "State change from RUNNING to
+  FINISHED") is mined for the app;
+* a canonical :class:`~repro.core.report.AnalysisReport` rebuilt on
+  demand through :func:`repro.core.checker.analyze_events` (the same
+  tail the batch :class:`~repro.core.checker.SDChecker` runs), cached
+  per revision so a query storm between two polls costs one rebuild;
+* online :class:`~repro.live.metrics.MetricsRegistry` instrumentation
+  (ingest counters, tail lag, per-component delay histograms observed
+  at app finality);
+* checkpoint/resume: cursors plus accumulator state serialize to one
+  JSON file, and a resumed session converges to the same final report
+  as an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core import messages as msg
+from repro.core.checker import analyze_events
+from repro.core.diagnostics import MiningDiagnostics
+from repro.core.events import EventKind
+from repro.core.parser import StreamEventAccumulator, _gate_kind, _scan_chunk
+from repro.core.report import AnalysisReport
+from repro.live.metrics import MetricsRegistry, build_live_registry
+from repro.live.tailer import DirectoryTailer, TailChunk
+from repro.logsys.record import TimestampMemo
+
+__all__ = ["LiveMiner", "LiveSession", "CHECKPOINT_VERSION"]
+
+CHECKPOINT_VERSION = 1
+
+_APP_FINISHED_VALUE = EventKind.APP_FINISHED.value
+
+#: Per-application delay components observed into the metrics
+#: histograms when the application reaches finality.
+_APP_COMPONENTS = ("allocation", "driver", "executor")
+_CONTAINER_COMPONENTS = ("acquisition", "localization", "launching")
+
+
+class LiveMiner:
+    """Chunk-at-a-time mining with batch-identical accumulated state."""
+
+    def __init__(self):
+        self.streams: Dict[str, StreamEventAccumulator] = {}
+        # Shared memo pair, exactly like the batch serial fast path: a
+        # timestamp second or head span seen in any chunk stays warm.
+        self._ts_memo = TimestampMemo()
+        self._head_memo: dict = {}
+
+    def ensure_stream(self, daemon: str, segments: int) -> StreamEventAccumulator:
+        """Register a stream (even an empty one — the ledger lists it)."""
+        acc = self.streams.get(daemon)
+        if acc is None:
+            acc = self.streams[daemon] = StreamEventAccumulator(
+                daemon, _gate_kind(daemon), segments=segments
+            )
+        elif segments > acc.segments:
+            acc.segments = segments
+        return acc
+
+    def feed(
+        self, daemon: str, data: bytes, segments: int = 1
+    ) -> Tuple[List[tuple], Tuple[int, ...], Set[str]]:
+        """Mine one tailed chunk into the stream's accumulator.
+
+        Returns ``(accepted event tuples, scan counters, touched app
+        IDs)`` — the session uses them for metrics and cache
+        invalidation; correctness lives entirely in the accumulator.
+        """
+        acc = self.ensure_stream(daemon, segments)
+        had_first = acc.first_key is not None
+        scan = _scan_chunk(daemon, acc.gate, data, self._ts_memo, self._head_memo)
+        accepted = acc.absorb(scan)
+        touched: Set[str] = set()
+        for event in accepted:
+            if event[2] is not None:
+                touched.add(event[2])
+        if not had_first and acc.first_key is not None and acc.gate == "container":
+            # The stream's positional INSTANCE_FIRST_LOG just came into
+            # existence: the owning app gained an event too.
+            app_id = msg.app_id_of_container(daemon)
+            if app_id is not None:
+                touched.add(app_id)
+        return accepted, scan[1], touched
+
+    # -- canonical views ---------------------------------------------------
+    def events(self) -> list:
+        """All mined events in batch order (sorted daemon, stream order)."""
+        out = []
+        for daemon in sorted(self.streams):
+            out.extend(self.streams[daemon].events())
+        return out
+
+    def diagnostics(self) -> MiningDiagnostics:
+        """A fresh ledger over every stream, in sorted daemon order."""
+        diagnostics = MiningDiagnostics()
+        for daemon in sorted(self.streams):
+            diagnostics.streams[daemon] = self.streams[daemon].diagnostics()
+        return diagnostics
+
+    def counter_totals(self) -> Tuple[int, int, int, int]:
+        """(lines, records, dropped, events) summed over all streams."""
+        lines = records = dropped = events = 0
+        for acc in self.streams.values():
+            c = acc.counters
+            lines += c[0]
+            records += c[1]
+            dropped += c[2] + c[3]
+            events += len(acc.compact)
+        return lines, records, dropped, events
+
+    # -- checkpointing -----------------------------------------------------
+    def to_state(self) -> dict:
+        return {
+            daemon: self.streams[daemon].to_state()
+            for daemon in sorted(self.streams)
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "LiveMiner":
+        miner = cls()
+        for daemon, stream_state in state.items():
+            miner.streams[daemon] = StreamEventAccumulator.from_state(stream_state)
+        return miner
+
+
+class LiveSession:
+    """One live mining-and-serving session over a growing directory."""
+
+    def __init__(
+        self,
+        directory: str | Path,
+        checkpoint_path: Optional[str | Path] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        self.directory = Path(directory)
+        self.checkpoint_path = (
+            Path(checkpoint_path) if checkpoint_path is not None else None
+        )
+        self.tailer = DirectoryTailer(self.directory)
+        self.miner = LiveMiner()
+        self.metrics = registry if registry is not None else build_live_registry()
+        #: Apps whose terminal transition has been mined.
+        self._final_apps: Set[str] = set()
+        #: Bumped whenever mining state changes; keys the report cache.
+        self.revision = 0
+        self._report_cache: Optional[Tuple[int, AnalysisReport]] = None
+        self.drained = False
+
+    # -- ingest ------------------------------------------------------------
+    def poll(self) -> int:
+        """Tail once and mine what arrived; the number of new events."""
+        return self._ingest(self.tailer.poll())
+
+    def drain(self) -> AnalysisReport:
+        """Flush held-back tails and return the canonical final report.
+
+        After the directory has stopped growing, this report is
+        byte-identical to ``SDChecker().analyze(directory)``.
+        """
+        self._ingest(self.tailer.drain())
+        self.drained = True
+        self._checkpoint()
+        return self.report()
+
+    def _ingest(self, chunks: List[TailChunk]) -> int:
+        new_events = 0
+        changed = False
+        touched_apps: Set[str] = set()
+        for chunk in chunks:
+            if not chunk.data:
+                # Even a silent stream changes the ledger the first
+                # time it is seen (and whenever its segment count grows).
+                known = self.miner.streams.get(chunk.daemon)
+                if known is None or chunk.segments > known.segments:
+                    changed = True
+                self.miner.ensure_stream(chunk.daemon, chunk.segments)
+                continue
+            changed = True
+            accepted, counters, touched = self.miner.feed(
+                chunk.daemon, chunk.data, chunk.segments
+            )
+            new_events += len(accepted)
+            touched_apps |= touched
+            self.metrics.counter("repro_live_ingest_lines_total").inc(counters[0])
+            self.metrics.counter("repro_live_ingest_records_total").inc(counters[1])
+            self.metrics.counter("repro_live_dropped_lines_total").inc(
+                counters[2] + counters[3]
+            )
+            self.metrics.counter("repro_live_events_total").inc(len(accepted))
+            for event in accepted:
+                if event[0] == _APP_FINISHED_VALUE and event[2] is not None:
+                    touched_apps.add(event[2])
+        if changed:
+            self.revision += 1
+        self.metrics.counter("repro_live_polls_total").inc()
+        self.metrics.gauge("repro_live_tail_lag_bytes").set(
+            self.tailer.tail_lag_bytes
+        )
+        self.metrics.gauge("repro_live_streams").set(len(self.miner.streams))
+        self._upgrade_finished_apps(touched_apps)
+        self._checkpoint()
+        return new_events
+
+    def _upgrade_finished_apps(self, touched_apps: Set[str]) -> None:
+        """Provisional -> final upgrades for apps whose terminal arrived."""
+        newly_final: List[str] = []
+        for daemon in sorted(self.miner.streams):
+            acc = self.miner.streams[daemon]
+            for event in acc.compact:
+                if (
+                    event[0] == _APP_FINISHED_VALUE
+                    and event[2] is not None
+                    and event[2] not in self._final_apps
+                ):
+                    self._final_apps.add(event[2])
+                    newly_final.append(event[2])
+        self.metrics.gauge("repro_live_apps_final").set(len(self._final_apps))
+        if newly_final:
+            self._observe_final_components(sorted(newly_final))
+
+    def _observe_final_components(self, app_ids: List[str]) -> None:
+        """Feed a newly final app's delay components into the histograms.
+
+        Observed once per app, at the provisional->final upgrade: the
+        operational view of the paper's per-component decomposition.
+        (The analytical truth remains the report — events that straggle
+        in from other streams after finality still update it.)
+        """
+        report = self.report()
+        by_id = {app.app_id: app for app in report.apps}
+        histogram = self.metrics.histogram("repro_live_component_delay_seconds")
+        for app_id in app_ids:
+            app = by_id.get(app_id)
+            if app is None:
+                continue
+            for component in _APP_COMPONENTS:
+                value = getattr(app, f"{component}_delay")
+                if value is not None:
+                    histogram.labels(component=component).observe(value)
+            for container in app.containers:
+                for component in _CONTAINER_COMPONENTS:
+                    value = getattr(container, f"{component}_delay")
+                    if value is not None:
+                        histogram.labels(component=component).observe(value)
+
+    # -- serving views -----------------------------------------------------
+    def report(self) -> AnalysisReport:
+        """The canonical analysis over everything mined so far (cached)."""
+        cached = self._report_cache
+        if cached is not None and cached[0] == self.revision:
+            return cached[1]
+        report = analyze_events(self.miner.events(), self.miner.diagnostics())
+        self._report_cache = (self.revision, report)
+        self.metrics.gauge("repro_live_apps").set(len(report.apps))
+        return report
+
+    def app_status(self, app_id: str) -> str:
+        return "final" if app_id in self._final_apps else "provisional"
+
+    def apps_payload(self) -> List[dict]:
+        """The ``apps`` query: one status row per application, sorted."""
+        report = self.report()
+        return [
+            {
+                "app_id": app.app_id,
+                "status": self.app_status(app.app_id),
+                "containers": len(app.containers),
+                "total_delay": app.total_delay,
+                "job_runtime": app.job_runtime,
+            }
+            for app in report.apps
+        ]
+
+    def decomposition_payload(self, app_id: str) -> Optional[dict]:
+        """The ``decomposition <app_id>`` query: one app's full breakdown."""
+        report = self.report()
+        for entry in report.to_dict()["applications"]:
+            if entry["app_id"] == app_id:
+                return {"status": self.app_status(app_id), **entry}
+        return None
+
+    def diagnostics_payload(self) -> dict:
+        report = self.report()
+        payload = report.diagnostics.to_dict()
+        payload["tail_lag_bytes"] = self.tailer.tail_lag_bytes
+        payload["resyncs"] = self.tailer.resyncs
+        payload["rotations"] = self.tailer.rotations
+        payload["drained"] = self.drained
+        return payload
+
+    # -- checkpoint / resume -----------------------------------------------
+    def _checkpoint(self) -> None:
+        if self.checkpoint_path is not None:
+            self.save_checkpoint(self.checkpoint_path)
+
+    def save_checkpoint(self, path: str | Path) -> Path:
+        """Atomically persist cursors + mining state + app finality."""
+        path = Path(path)
+        state = {
+            "version": CHECKPOINT_VERSION,
+            "directory": str(self.directory),
+            "revision": self.revision,
+            "drained": self.drained,
+            "tailer": self.tailer.to_state(),
+            "miner": self.miner.to_state(),
+            "final_apps": sorted(self._final_apps),
+        }
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        tmp.write_text(json.dumps(state), encoding="utf-8")
+        tmp.replace(path)
+        return path
+
+    @classmethod
+    def from_checkpoint(
+        cls,
+        path: str | Path,
+        directory: Optional[str | Path] = None,
+        registry: Optional[MetricsRegistry] = None,
+        checkpoint_path: Optional[str | Path] = None,
+    ) -> "LiveSession":
+        """Rebuild a session from a checkpoint file and keep tailing.
+
+        Ingest counters are re-primed from the restored accumulators;
+        purely operational series (polls, tail lag histograms) restart
+        from zero — the analysis state is what the contract covers.
+        """
+        state = json.loads(Path(path).read_text(encoding="utf-8"))
+        if state.get("version") != CHECKPOINT_VERSION:
+            raise ValueError(
+                f"unsupported checkpoint version {state.get('version')!r}"
+            )
+        session = cls(
+            directory if directory is not None else state["directory"],
+            checkpoint_path=checkpoint_path,
+            registry=registry,
+        )
+        session.tailer = DirectoryTailer.from_state(
+            state["tailer"], directory=session.directory
+        )
+        session.miner = LiveMiner.from_state(state["miner"])
+        session._final_apps = set(state["final_apps"])
+        session.revision = state["revision"]
+        session.drained = state["drained"]
+        lines, records, dropped, events = session.miner.counter_totals()
+        session.metrics.counter("repro_live_ingest_lines_total").inc(lines)
+        session.metrics.counter("repro_live_ingest_records_total").inc(records)
+        session.metrics.counter("repro_live_dropped_lines_total").inc(dropped)
+        session.metrics.counter("repro_live_events_total").inc(events)
+        session.metrics.gauge("repro_live_apps_final").set(
+            len(session._final_apps)
+        )
+        return session

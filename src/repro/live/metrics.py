@@ -1,0 +1,300 @@
+"""A small deterministic metrics registry with Prometheus text output.
+
+Counters, gauges, and fixed-bucket histograms — the three series kinds
+the live miner needs — rendered in the Prometheus text exposition
+format (``# HELP`` / ``# TYPE`` headers, cumulative ``_bucket{le=...}``
+histogram lines ending in ``+Inf``, ``_sum`` and ``_count``).
+
+Deliberately *not* a client-library wrapper: the repository's no-new-
+dependencies rule aside, determinism is the design constraint — render
+order is sorted (by metric name, then label value), there are no
+timestamps, and rates are left to the scraper (``rate()`` over the
+``*_total`` counters), so the registry itself never reads a clock.
+The determinism lint (SD302) holds for this module like any other.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DELAY_BUCKETS",
+    "build_live_registry",
+]
+
+#: Default histogram bounds for scheduling-delay seconds: dense below
+#: one second (the paper's low-latency regime, where sub-second delay
+#: components dominate) and sparse into the interference tail.
+DELAY_BUCKETS = (
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    30.0,
+    60.0,
+)
+
+
+def _format_value(value: float) -> str:
+    """Prometheus-style number: integers without a trailing ``.0``."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _format_labels(labels: Tuple[Tuple[str, str], ...]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{key}="{value}"' for key, value in labels)
+    return "{" + inner + "}"
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    def __init__(self, name: str, help_text: str):
+        self.name = name
+        self.help_text = help_text
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        self.value += amount
+
+    def render(self) -> List[str]:
+        return [
+            f"# HELP {self.name} {self.help_text}",
+            f"# TYPE {self.name} counter",
+            f"{self.name} {_format_value(self.value)}",
+        ]
+
+
+class Gauge:
+    """A value that goes up and down."""
+
+    def __init__(self, name: str, help_text: str):
+        self.name = name
+        self.help_text = help_text
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def render(self) -> List[str]:
+        return [
+            f"# HELP {self.name} {self.help_text}",
+            f"# TYPE {self.name} gauge",
+            f"{self.name} {_format_value(self.value)}",
+        ]
+
+
+class _HistogramChild:
+    """One labeled series of a histogram family."""
+
+    __slots__ = ("bucket_counts", "total", "count")
+
+    def __init__(self, buckets: int):
+        self.bucket_counts = [0] * buckets  # cumulative at render time
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float, bounds: Sequence[float]) -> None:
+        self.total += value
+        self.count += 1
+        for i, bound in enumerate(bounds):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                break
+        # Values above the last bound land only in the implicit +Inf
+        # bucket, materialized by `count` at render time.
+
+
+class Histogram:
+    """Fixed-bucket histogram family, optionally labeled."""
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        buckets: Sequence[float] = DELAY_BUCKETS,
+        label_names: Tuple[str, ...] = (),
+    ):
+        self.name = name
+        self.help_text = help_text
+        self.bounds = tuple(sorted(buckets))
+        if not self.bounds:
+            raise ValueError(f"histogram {name} needs at least one bucket")
+        self.label_names = label_names
+        self._children: Dict[Tuple[Tuple[str, str], ...], _HistogramChild] = {}
+
+    def labels(self, **labels: str) -> "_BoundHistogram":
+        if sorted(labels) != sorted(self.label_names):
+            raise ValueError(
+                f"histogram {self.name} takes labels {self.label_names}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        key = tuple((name, str(labels[name])) for name in self.label_names)
+        child = self._children.get(key)
+        if child is None:
+            child = self._children[key] = _HistogramChild(len(self.bounds))
+        return _BoundHistogram(self, child)
+
+    def observe(self, value: float) -> None:
+        if self.label_names:
+            raise ValueError(f"histogram {self.name} requires labels")
+        self.labels().observe(value)
+
+    def render(self) -> List[str]:
+        lines = [
+            f"# HELP {self.name} {self.help_text}",
+            f"# TYPE {self.name} histogram",
+        ]
+        for key in sorted(self._children):
+            child = self._children[key]
+            cumulative = 0
+            for bound, bucket in zip(self.bounds, child.bucket_counts):
+                cumulative += bucket
+                bucket_labels = key + (("le", _format_value(bound)),)
+                lines.append(
+                    f"{self.name}_bucket{_format_labels(bucket_labels)} "
+                    f"{cumulative}"
+                )
+            inf_labels = key + (("le", "+Inf"),)
+            lines.append(
+                f"{self.name}_bucket{_format_labels(inf_labels)} {child.count}"
+            )
+            lines.append(
+                f"{self.name}_sum{_format_labels(key)} "
+                f"{_format_value(child.total)}"
+            )
+            lines.append(f"{self.name}_count{_format_labels(key)} {child.count}")
+        return lines
+
+
+class _BoundHistogram:
+    """A histogram child bound to concrete label values."""
+
+    __slots__ = ("_family", "_child")
+
+    def __init__(self, family: Histogram, child: _HistogramChild):
+        self._family = family
+        self._child = child
+
+    def observe(self, value: float) -> None:
+        self._child.observe(float(value), self._family.bounds)
+
+
+class MetricsRegistry:
+    """Named metrics with deterministic Prometheus text rendering."""
+
+    def __init__(self):
+        self._metrics: Dict[str, object] = {}
+
+    def _register(self, metric):
+        held = self._metrics.get(metric.name)
+        if held is not None:
+            raise ValueError(f"metric {metric.name!r} already registered")
+        self._metrics[metric.name] = metric
+        return metric
+
+    def counter(self, name: str, help_text: Optional[str] = None) -> Counter:
+        """Fetch (or, when ``help_text`` is given, create) a counter."""
+        return self._fetch(name, Counter, help_text)
+
+    def gauge(self, name: str, help_text: Optional[str] = None) -> Gauge:
+        return self._fetch(name, Gauge, help_text)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: Optional[str] = None,
+        buckets: Sequence[float] = DELAY_BUCKETS,
+        label_names: Tuple[str, ...] = (),
+    ) -> Histogram:
+        held = self._metrics.get(name)
+        if held is not None:
+            if not isinstance(held, Histogram):
+                raise TypeError(f"metric {name!r} is {type(held).__name__}")
+            return held
+        if help_text is None:
+            raise KeyError(f"unknown metric {name!r}")
+        return self._register(Histogram(name, help_text, buckets, label_names))
+
+    def _fetch(self, name, kind, help_text):
+        held = self._metrics.get(name)
+        if held is not None:
+            if not isinstance(held, kind):
+                raise TypeError(f"metric {name!r} is {type(held).__name__}")
+            return held
+        if help_text is None:
+            raise KeyError(f"unknown metric {name!r}")
+        return self._register(kind(name, help_text))
+
+    def render(self) -> str:
+        """The whole registry in Prometheus text exposition format."""
+        lines: List[str] = []
+        for name in sorted(self._metrics):
+            lines.extend(self._metrics[name].render())
+        return "\n".join(lines) + "\n"
+
+
+def build_live_registry() -> MetricsRegistry:
+    """The live subsystem's metric families, pre-registered."""
+    registry = MetricsRegistry()
+    registry.counter(
+        "repro_live_ingest_lines_total",
+        "Physical log lines consumed by the live tailer",
+    )
+    registry.counter(
+        "repro_live_ingest_records_total",
+        "Lines that parsed into log records",
+    )
+    registry.counter(
+        "repro_live_dropped_lines_total",
+        "Lines the miner skipped (garbled or bad timestamp)",
+    )
+    registry.counter(
+        "repro_live_events_total", "Scheduling events mined from the stream"
+    )
+    registry.counter("repro_live_polls_total", "Tailer poll passes completed")
+    registry.counter(
+        "repro_live_queries_total", "Query requests served over the wire"
+    )
+    registry.counter(
+        "repro_live_slow_consumer_disconnects_total",
+        "Connections dropped because their write queue overflowed",
+    )
+    registry.gauge(
+        "repro_live_tail_lag_bytes",
+        "Bytes present on disk but not yet consumed, at the last poll",
+    )
+    registry.gauge("repro_live_streams", "Daemon log streams being followed")
+    registry.gauge("repro_live_apps", "Applications observed so far")
+    registry.gauge(
+        "repro_live_apps_final",
+        "Applications whose terminal transition has been mined",
+    )
+    registry.histogram(
+        "repro_live_component_delay_seconds",
+        "Per-component scheduling delay observed at application finality",
+        label_names=("component",),
+    )
+    return registry

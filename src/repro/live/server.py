@@ -1,0 +1,289 @@
+"""An asyncio JSON-lines query/metrics server over a live session.
+
+Wire protocol: one JSON object per line in each direction.  A request
+is ``{"op": <name>, ...params}``; the response carries ``ok`` (bool),
+the echoed ``op``, and either ``result`` or ``error``::
+
+    {"op": "apps"}
+    {"ok": true, "op": "apps", "result": [...]}
+
+Operations: ``apps`` (status rows), ``decomposition`` (one app's full
+breakdown, requires ``app_id``), ``diagnostics`` (mining ledger plus
+tailer counters), ``metrics`` (Prometheus text exposition), and
+``shutdown`` (stop the server after responding).
+
+**Backpressure**: responses are never written directly from the read
+loop.  Each connection owns a bounded :class:`asyncio.Queue` drained by
+a dedicated writer task; when a consumer reads slower than it queries
+and the queue fills, the connection is *dropped* (and counted in
+``repro_live_slow_consumer_disconnects_total``) rather than letting one
+slow client grow unbounded buffers or stall the poll loop.
+
+All session access happens on the event-loop thread — the poll loop,
+the dispatchers, and the metrics reads are serialized by construction,
+so :class:`~repro.live.incremental.LiveSession` needs no locks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import threading
+from typing import Optional
+
+from repro.live.incremental import LiveSession
+
+__all__ = ["LiveServer", "ServerHandle", "serve_in_thread"]
+
+#: Responses a connection may have in flight before it is considered a
+#: slow consumer and disconnected.
+DEFAULT_QUEUE_DEPTH = 64
+
+
+class LiveServer:
+    """Serves one :class:`LiveSession` over JSON lines, polling as it goes."""
+
+    def __init__(
+        self,
+        session: LiveSession,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        poll_interval: float = 0.25,
+        queue_depth: int = DEFAULT_QUEUE_DEPTH,
+        poll: bool = True,
+    ):
+        self.session = session
+        self.host = host
+        self.port = port
+        self.poll_interval = poll_interval
+        self.queue_depth = queue_depth
+        self._poll_enabled = poll
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._poll_task: Optional[asyncio.Task] = None
+        self._shutdown: Optional[asyncio.Event] = None
+        #: The actually bound port (useful with ``port=0``).
+        self.bound_port: Optional[int] = None
+
+    # -- lifecycle ---------------------------------------------------------
+    async def start(self) -> "LiveServer":
+        self._shutdown = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.bound_port = self._server.sockets[0].getsockname()[1]
+        if self._poll_enabled:
+            self._poll_task = asyncio.create_task(self._poll_loop())
+        return self
+
+    async def serve_until_shutdown(self) -> None:
+        """Block until a ``shutdown`` op (or :meth:`request_shutdown`)."""
+        assert self._shutdown is not None, "start() first"
+        await self._shutdown.wait()
+        await self._close()
+
+    def request_shutdown(self) -> None:
+        if self._shutdown is not None:
+            self._shutdown.set()
+
+    async def _close(self) -> None:
+        if self._poll_task is not None:
+            self._poll_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._poll_task
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    async def _poll_loop(self) -> None:
+        while not self._shutdown.is_set():
+            self.session.poll()
+            try:
+                await asyncio.wait_for(
+                    self._shutdown.wait(), timeout=self.poll_interval
+                )
+            except asyncio.TimeoutError:
+                continue
+
+    # -- connections -------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        queue: asyncio.Queue = asyncio.Queue(maxsize=self.queue_depth)
+        writer_task = asyncio.create_task(self._write_loop(queue, writer))
+        dropped = False
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                response = self._dispatch(line)
+                try:
+                    queue.put_nowait(response)
+                except asyncio.QueueFull:
+                    # Slow consumer: drop the connection rather than
+                    # buffer without bound.
+                    self.session.metrics.counter(
+                        "repro_live_slow_consumer_disconnects_total"
+                    ).inc()
+                    dropped = True
+                    break
+                if response.get("op") == "shutdown" and response.get("ok"):
+                    # Let the response flush, then stop the server.
+                    await queue.join()
+                    self.request_shutdown()
+                    break
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            if not dropped:
+                with contextlib.suppress(Exception):
+                    await queue.join()
+            writer_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await writer_task
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _write_loop(
+        self, queue: asyncio.Queue, writer: asyncio.StreamWriter
+    ) -> None:
+        while True:
+            response = await queue.get()
+            try:
+                writer.write(json.dumps(response).encode("utf-8") + b"\n")
+                await writer.drain()
+            except (ConnectionResetError, BrokenPipeError):
+                return
+            finally:
+                queue.task_done()
+
+    # -- dispatch ----------------------------------------------------------
+    def _dispatch(self, raw: bytes) -> dict:
+        try:
+            request = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return {
+                "ok": False,
+                "op": None,
+                "error": "malformed request: expected one JSON object per line",
+            }
+        if not isinstance(request, dict):
+            return {
+                "ok": False,
+                "op": None,
+                "error": "malformed request: expected a JSON object",
+            }
+        op = request.get("op")
+        self.session.metrics.counter("repro_live_queries_total").inc()
+        if op == "apps":
+            return {"ok": True, "op": op, "result": self.session.apps_payload()}
+        if op == "decomposition":
+            app_id = request.get("app_id")
+            if not app_id:
+                return {
+                    "ok": False,
+                    "op": op,
+                    "error": "decomposition requires an app_id",
+                }
+            payload = self.session.decomposition_payload(app_id)
+            if payload is None:
+                return {
+                    "ok": False,
+                    "op": op,
+                    "error": f"unknown application {app_id!r}",
+                }
+            return {"ok": True, "op": op, "result": payload}
+        if op == "diagnostics":
+            return {
+                "ok": True,
+                "op": op,
+                "result": self.session.diagnostics_payload(),
+            }
+        if op == "metrics":
+            return {"ok": True, "op": op, "result": self.session.metrics.render()}
+        if op == "shutdown":
+            return {"ok": True, "op": op, "result": "shutting down"}
+        return {
+            "ok": False,
+            "op": op,
+            "error": (
+                f"unknown op {op!r} (expected apps, decomposition, "
+                "diagnostics, metrics, shutdown)"
+            ),
+        }
+
+
+class ServerHandle:
+    """A server running on a background thread; address plus ``stop()``."""
+
+    def __init__(self, server: LiveServer, loop: asyncio.AbstractEventLoop,
+                 thread: threading.Thread):
+        self._server = server
+        self._loop = loop
+        self._thread = thread
+
+    @property
+    def host(self) -> str:
+        return self._server.host
+
+    @property
+    def port(self) -> int:
+        assert self._server.bound_port is not None
+        return self._server.bound_port
+
+    def stop(self, timeout: float = 10.0) -> None:
+        try:
+            self._loop.call_soon_threadsafe(self._server.request_shutdown)
+        except RuntimeError:
+            pass  # loop already closed (a client's shutdown op won)
+        self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def serve_in_thread(
+    session: LiveSession,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    poll_interval: float = 0.05,
+    queue_depth: int = DEFAULT_QUEUE_DEPTH,
+    poll: bool = True,
+) -> ServerHandle:
+    """Run a :class:`LiveServer` on a daemon thread; returns its handle.
+
+    The embedding entry point (tests, benchmarks, notebooks): the
+    caller keeps its thread, the session lives entirely on the server's
+    event loop.
+    """
+    started = threading.Event()
+    holder: dict = {}
+
+    async def _main() -> None:
+        server = LiveServer(
+            session,
+            host=host,
+            port=port,
+            poll_interval=poll_interval,
+            queue_depth=queue_depth,
+            poll=poll,
+        )
+        await server.start()
+        holder["server"] = server
+        holder["loop"] = asyncio.get_running_loop()
+        started.set()
+        await server.serve_until_shutdown()
+
+    def _run() -> None:
+        asyncio.run(_main())
+
+    thread = threading.Thread(target=_run, name="repro-live-server", daemon=True)
+    thread.start()
+    if not started.wait(timeout=30.0):
+        raise RuntimeError("live server failed to start within 30s")
+    return ServerHandle(holder["server"], holder["loop"], thread)

@@ -1,0 +1,318 @@
+"""Rotation-aware tailing of a growing log directory.
+
+The batch pipeline reads a *finished* collection: every ``<daemon>.log``
+plus its rotated ``<daemon>.log.N`` segments, oldest first.  The tailer
+produces exactly the same byte stream **incrementally**, while the
+directory is still growing, by keeping one cursor per physical file:
+
+* a cursor is keyed by **inode**, not by name — log4j's
+  RollingFileAppender rotates by *renaming* (``.1`` becomes ``.2``, the
+  live file becomes ``.1``, a fresh live file appears), and inode
+  identity is what survives the rename chain;
+* the live file only ever surrenders *complete* lines
+  (:func:`repro.logsys.store.tail_chunk`, the incremental half of the
+  batch reader's line-ownership protocol): bytes after the last newline
+  are a record a writer may still be mid-way through, so they are held
+  back and re-read once terminated — or flushed at :meth:`drain`, when
+  EOF ends the line exactly as :func:`~repro.logsys.store.iter_file_lines`
+  treats an unterminated tail;
+* a file whose name gained a rotation index is *closed*: it is read to
+  EOF (unterminated tail included, newline-normalized so segment
+  boundaries never glue two lines together) and finalized before any
+  younger segment's bytes are emitted, preserving oldest-first order;
+* **truncation** (the live file shrinking below its cursor — a writer
+  restarted with a fresh file on the same name/inode) is detected by
+  ``size < offset`` and re-synced from byte 0, counted in
+  :attr:`StreamTailer.resyncs`.
+
+Determinism: daemons are visited in sorted order and segments in the
+batch reader's chronological order, so the concatenation of every
+:class:`TailChunk` ever emitted for a daemon equals the line stream the
+batch reader would produce over the final directory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.logsys.store import _SEGMENT_RE, tail_chunk
+
+__all__ = ["DirectoryTailer", "SegmentCursor", "StreamTailer", "TailChunk"]
+
+
+@dataclass
+class TailChunk:
+    """Newly available complete-line bytes of one daemon stream."""
+
+    daemon: str
+    data: bytes
+    #: Total rotation segments known for the stream so far (for the
+    #: diagnostics ledger's ``segments`` count).
+    segments: int
+
+
+@dataclass
+class SegmentCursor:
+    """Read position inside one physical log file, keyed by inode."""
+
+    inode: int
+    name: str
+    offset: int = 0
+    #: A finalized segment is fully consumed and will never be read
+    #: again (rotated files do not grow).
+    final: bool = False
+
+    def to_state(self) -> dict:
+        return {
+            "inode": self.inode,
+            "name": self.name,
+            "offset": self.offset,
+            "final": self.final,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "SegmentCursor":
+        return cls(
+            inode=state["inode"],
+            name=state["name"],
+            offset=state["offset"],
+            final=state["final"],
+        )
+
+
+def _normalized(buf: bytes) -> bytes:
+    """Terminate a flushed tail so concatenation cannot merge lines."""
+    if buf and not buf.endswith(b"\n"):
+        return buf + b"\n"
+    return buf
+
+
+class StreamTailer:
+    """Cursor chain of one daemon stream, in chronological segment order."""
+
+    def __init__(self, daemon: str):
+        self.daemon = daemon
+        self.cursors: List[SegmentCursor] = []
+        #: Live-file truncation re-syncs observed (writer restarts).
+        self.resyncs = 0
+        #: Rotation segments discovered after the stream was first seen.
+        self.rotations = 0
+        #: Bytes known to exist but not yet consumed, as of the last poll.
+        self.lag_bytes = 0
+
+    @property
+    def segments(self) -> int:
+        return max(1, len(self.cursors))
+
+    def _live_name(self) -> str:
+        return f"{self.daemon}.log"
+
+    def advance(self, listing: List[Tuple[str, int, int]]) -> bytes:
+        """Consume what the stream's files newly offer, in stream order.
+
+        ``listing`` is the daemon's current directory entries as
+        ``(name, inode, size)`` in chronological (oldest-first) order.
+        Returns the newly consumed bytes, complete lines only.
+        """
+        by_inode: Dict[int, Tuple[str, int]] = {
+            inode: (name, size) for name, inode, size in listing
+        }
+        known = {cursor.inode for cursor in self.cursors}
+        # Rename tracking: a cursor follows its inode wherever the
+        # rotation chain moved it.
+        for cursor in self.cursors:
+            entry = by_inode.get(cursor.inode)
+            if entry is not None:
+                cursor.name = entry[0]
+            elif not cursor.final:
+                # The file vanished (deleted mid-run): nothing more can
+                # ever be read from it.
+                cursor.final = True
+        # Unseen inodes are new segments, appended after every existing
+        # cursor (they are younger than anything already tracked) in
+        # chronological order among themselves — the listing's order.
+        fresh = [
+            SegmentCursor(inode=inode, name=name)
+            for name, inode, size in listing
+            if inode not in known
+        ]
+        if fresh and self.cursors:
+            self.rotations += len(fresh)
+        self.cursors.extend(fresh)
+
+        out: List[bytes] = []
+        lag = 0
+        live_name = self._live_name()
+        for cursor in self.cursors:
+            if cursor.final:
+                continue
+            entry = by_inode.get(cursor.inode)
+            if entry is None:
+                cursor.final = True
+                continue
+            name, size = entry
+            if Path(name).name == live_name:
+                if size < cursor.offset:
+                    # Truncation: the writer started over on this file.
+                    self.resyncs += 1
+                    cursor.offset = 0
+                buf, cursor.offset = tail_chunk(name_path(cursor, listing), cursor.offset, size)
+                if buf:
+                    out.append(buf)
+                lag += size - cursor.offset
+            else:
+                # Rotated: closed for writing — read to EOF, tail and all.
+                buf = _read_to_eof(name_path(cursor, listing), cursor.offset)
+                cursor.offset += len(buf)
+                cursor.final = True
+                if buf:
+                    out.append(_normalized(buf))
+        self.lag_bytes = lag
+        return b"".join(out)
+
+    def flush(self, listing: List[Tuple[str, int, int]]) -> bytes:
+        """Drain: surrender every held-back byte, unterminated tails included."""
+        by_inode = {inode: (name, size) for name, inode, size in listing}
+        out: List[bytes] = []
+        for cursor in self.cursors:
+            if cursor.final or cursor.inode not in by_inode:
+                cursor.final = True
+                continue
+            buf = _read_to_eof(name_path(cursor, listing), cursor.offset)
+            cursor.offset += len(buf)
+            cursor.final = True
+            if buf:
+                out.append(_normalized(buf))
+        self.lag_bytes = 0
+        return b"".join(out)
+
+    def to_state(self) -> dict:
+        return {
+            "cursors": [cursor.to_state() for cursor in self.cursors],
+            "resyncs": self.resyncs,
+            "rotations": self.rotations,
+        }
+
+    @classmethod
+    def from_state(cls, daemon: str, state: dict) -> "StreamTailer":
+        tailer = cls(daemon)
+        tailer.cursors = [SegmentCursor.from_state(s) for s in state["cursors"]]
+        tailer.resyncs = state["resyncs"]
+        tailer.rotations = state["rotations"]
+        return tailer
+
+
+def name_path(cursor: SegmentCursor, listing: List[Tuple[str, int, int]]) -> Path:
+    """Resolve a cursor's current on-disk path from the poll listing."""
+    for name, inode, _size in listing:
+        if inode == cursor.inode:
+            return Path(name)
+    return Path(cursor.name)
+
+
+def _read_to_eof(path: Path, offset: int) -> bytes:
+    try:
+        with open(path, "rb") as handle:
+            handle.seek(offset)
+            return handle.read()
+    except OSError:
+        return b""
+
+
+class DirectoryTailer:
+    """Follows every ``<daemon>.log[.N]`` stream of one directory."""
+
+    def __init__(self, directory: str | Path):
+        self.directory = Path(directory)
+        self.streams: Dict[str, StreamTailer] = {}
+        self.drained = False
+
+    # -- directory scanning ------------------------------------------------
+    def _listing(self) -> Dict[str, List[Tuple[str, int, int]]]:
+        """daemon -> [(absolute name, inode, size)] in chronological order."""
+        groups: Dict[str, List[Tuple[int, str, int, int]]] = {}
+        if not self.directory.is_dir():
+            return {}
+        for path in self.directory.iterdir():
+            m = _SEGMENT_RE.match(path.name)
+            if m is None:
+                continue
+            try:
+                stat = path.stat()
+            except OSError:
+                continue  # raced with a rename/delete; next poll sees it
+            if not path.is_file():
+                continue
+            index = -1 if m["index"] is None else int(m["index"])
+            groups.setdefault(m["daemon"], []).append(
+                (index, str(path), stat.st_ino, stat.st_size)
+            )
+        out: Dict[str, List[Tuple[str, int, int]]] = {}
+        for daemon in sorted(groups):
+            # Highest index (oldest) first, the live file (index -1) last:
+            # the batch reader's chronological order.
+            entries = sorted(groups[daemon], key=lambda item: item[0], reverse=True)
+            out[daemon] = [(name, inode, size) for _i, name, inode, size in entries]
+        return out
+
+    def _stream(self, daemon: str) -> StreamTailer:
+        tailer = self.streams.get(daemon)
+        if tailer is None:
+            tailer = self.streams[daemon] = StreamTailer(daemon)
+        return tailer
+
+    # -- polling -----------------------------------------------------------
+    def poll(self) -> List[TailChunk]:
+        """One pass over the directory: every stream's new complete lines."""
+        chunks: List[TailChunk] = []
+        listing = self._listing()
+        for daemon in sorted(set(listing) | set(self.streams)):
+            tailer = self._stream(daemon)
+            data = tailer.advance(listing.get(daemon, []))
+            chunks.append(TailChunk(daemon, data, tailer.segments))
+        return chunks
+
+    def drain(self) -> List[TailChunk]:
+        """Final poll plus held-back tails: after this the tailer is done."""
+        chunks = self.poll()
+        listing = self._listing()
+        for chunk in chunks:
+            tailer = self.streams[chunk.daemon]
+            chunk.data += tailer.flush(listing.get(chunk.daemon, []))
+            chunk.segments = tailer.segments
+        self.drained = True
+        return chunks
+
+    # -- observability -----------------------------------------------------
+    @property
+    def tail_lag_bytes(self) -> int:
+        return sum(t.lag_bytes for t in self.streams.values())
+
+    @property
+    def resyncs(self) -> int:
+        return sum(t.resyncs for t in self.streams.values())
+
+    @property
+    def rotations(self) -> int:
+        return sum(t.rotations for t in self.streams.values())
+
+    # -- checkpointing -----------------------------------------------------
+    def to_state(self) -> dict:
+        return {
+            "directory": str(self.directory),
+            "streams": {
+                daemon: self.streams[daemon].to_state()
+                for daemon in sorted(self.streams)
+            },
+        }
+
+    @classmethod
+    def from_state(
+        cls, state: dict, directory: Optional[str | Path] = None
+    ) -> "DirectoryTailer":
+        tailer = cls(directory if directory is not None else state["directory"])
+        for daemon, stream_state in state["streams"].items():
+            tailer.streams[daemon] = StreamTailer.from_state(daemon, stream_state)
+        return tailer

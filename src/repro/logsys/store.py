@@ -27,7 +27,9 @@ from repro.logsys.record import PARSE_BAD_TIMESTAMP, LogRecord
 __all__ = [
     "DaemonLogger",
     "LogStore",
+    "SealedStoreError",
     "iter_file_lines",
+    "tail_chunk",
     "iter_file_records",
     "iter_segment_records",
     "partition_file",
@@ -54,6 +56,14 @@ FAST_CHUNK_TARGET = 4 * 1024 * 1024
 #: ``<daemon>.log`` (live) or ``<daemon>.log.N`` (rotated segment, the
 #: log4j RollingFileAppender convention: higher N is older).
 _SEGMENT_RE = re.compile(r"^(?P<daemon>.+)\.log(?:\.(?P<index>\d+))?$")
+
+
+class SealedStoreError(RuntimeError):
+    """Raised by :meth:`LogStore.append` after :meth:`LogStore.seal`.
+
+    A ``RuntimeError`` subclass so pre-existing callers that caught the
+    old generic exception keep working.
+    """
 
 
 def iter_file_lines(path: str | Path, chunk_size: int = _CHUNK_SIZE) -> Iterator[str]:
@@ -161,6 +171,31 @@ def read_chunk(
                 break
             parts.append(block)
         return b"".join(parts)
+
+
+def tail_chunk(path: str | Path, offset: int, size: int) -> Tuple[bytes, int]:
+    """The *complete* lines appended to ``path`` in ``[offset, size)``.
+
+    The incremental half of :func:`read_chunk`'s line-ownership
+    protocol, for a file that is still growing: returns ``(buf,
+    new_offset)`` where ``buf`` runs from ``offset`` (which must sit at
+    a line start) through the final newline at or before ``size``, and
+    ``new_offset`` is the byte after that newline.  The trailing
+    partial line — bytes after the last newline — is *held back*: a
+    writer may still be mid-record, so those bytes are not yet a line.
+    The tailer re-reads them once the terminating newline lands (or
+    flushes them at drain time, when EOF itself ends the line, exactly
+    as :func:`iter_file_lines` treats an unterminated tail).
+    """
+    if size <= offset:
+        return b"", offset
+    with open(path, "rb") as handle:
+        handle.seek(offset)
+        buf = handle.read(size - offset)
+    newline_at = buf.rfind(b"\n")
+    if newline_at < 0:
+        return b"", offset
+    return buf[: newline_at + 1], offset + newline_at + 1
 
 
 def iter_file_records(
@@ -274,7 +309,11 @@ class LogStore:
 
     def append(self, daemon: str, record: LogRecord) -> None:
         if self._sealed:
-            raise RuntimeError("LogStore is sealed; offline logs are complete")
+            raise SealedStoreError(
+                f"cannot append to stream {daemon!r}: the LogStore is "
+                "sealed — an offline log collection is complete and "
+                "immutable (build a new store for new records)"
+            )
         self._streams.setdefault(daemon, []).append(record)
         self._views.pop(daemon, None)
 

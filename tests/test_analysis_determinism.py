@@ -91,9 +91,39 @@ class TestCompletionOrderMerge:
         assert rules_of(source) == []
 
 
+class TestWallClockLocaltimeFamily:
+    """SD302 also covers the struct_time readers the live tailer could
+    be tempted to stamp chunks with."""
+
+    def test_time_localtime(self):
+        assert rules_of("import time\nt = time.localtime()\n") == ["SD302"]
+
+    def test_time_gmtime(self):
+        assert rules_of("import time\nt = time.gmtime()\n") == ["SD302"]
+
+    def test_time_ctime(self):
+        assert rules_of("import time\ns = time.ctime()\n") == ["SD302"]
+
+    def test_time_sleep_is_sanctioned(self):
+        # Pacing a poll loop does not *read* the clock.
+        assert rules_of("import time\ntime.sleep(0.1)\n") == []
+
+    def test_asyncio_sleep_is_sanctioned(self):
+        source = "import asyncio\nasync def f():\n    await asyncio.sleep(0.1)\n"
+        assert rules_of(source) == []
+
+
 class TestPristineTree:
     def test_simulator_source_is_deterministic(self):
         assert determinism.run(SRC_ROOT) == []
+
+    def test_live_tree_is_scanned_and_clean(self):
+        # The incremental miner/server promise replay byte-identity, so
+        # the determinism lint must both reach them and find nothing.
+        live_root = SRC_ROOT / "repro" / "live"
+        scanned = {f.path for f in determinism.run(SRC_ROOT)}
+        assert determinism.scan_tree(live_root) == []
+        assert not any(p.startswith("repro/live/") for p in scanned)
 
     def test_syntax_errors_are_skipped(self):
         assert determinism.scan_source("def broken(:\n", "x.py") == []

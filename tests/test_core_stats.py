@@ -88,3 +88,44 @@ class TestRatios:
     def test_self_ratio_is_one(self, values):
         s = DelaySample(values)
         assert s.ratio_to(s) == pytest.approx(1.0)
+
+
+class TestEdgeCases:
+    """Degenerate samples behave deterministically, never raise."""
+
+    def test_all_none_is_empty(self):
+        s = DelaySample([None, None, None])
+        assert len(s) == 0 and not s
+        assert math.isnan(s.p50) and math.isnan(s.p95) and math.isnan(s.p99)
+        assert math.isnan(s.min()) and math.isnan(s.max())
+        assert s.cdf() == [] and s.histogram() == []
+        assert s.describe().endswith("empty")
+
+    def test_single_value_statistics_collapse_to_it(self):
+        s = DelaySample([2.5])
+        assert len(s) == 1
+        for q in (0, 50, 95, 99, 100):
+            assert s.percentile(q) == 2.5
+        assert s.mean() == 2.5 and s.std() == 0.0
+        assert s.min() == 2.5 and s.max() == 2.5
+        assert s.cdf() == [(2.5, 1.0)]
+        assert sum(count for _edge, count in s.histogram()) == 1
+
+    def test_ratio_to_empty_is_nan(self):
+        assert math.isnan(DelaySample([1.0]).ratio_to(DelaySample([])))
+
+    def test_empty_ratio_to_populated_is_nan(self):
+        assert math.isnan(DelaySample([]).ratio_to(DelaySample([1.0])))
+
+    def test_ratio_to_zero_denominator_is_nan(self):
+        assert math.isnan(DelaySample([1.0]).ratio_to(DelaySample([0.0])))
+
+    def test_empty_cdf_and_histogram_lengths_are_stable(self):
+        s = DelaySample([])
+        # Same zero-length views regardless of requested resolution.
+        assert s.cdf(points=7) == [] and s.histogram(bins=3) == []
+
+    def test_none_mixed_with_values_keeps_order_independence(self):
+        a = DelaySample([None, 3.0, 1.0, None, 2.0])
+        b = DelaySample([1.0, 2.0, 3.0])
+        assert list(a.values) == list(b.values)

@@ -1,0 +1,156 @@
+"""Tests for the live metrics registry and its Prometheus rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.live.metrics import (
+    DELAY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    build_live_registry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("x_total", "h")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_decrease_is_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("x_total", "h").inc(-1)
+
+    def test_render_has_help_type_and_sample(self):
+        c = Counter("x_total", "things counted")
+        c.inc(3)
+        assert c.render() == [
+            "# HELP x_total things counted",
+            "# TYPE x_total counter",
+            "x_total 3",
+        ]
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("x", "h")
+        g.set(10)
+        g.inc(2.5)
+        g.dec()
+        assert g.value == 11.5
+
+    def test_render_type_is_gauge(self):
+        assert "# TYPE x gauge" in Gauge("x", "h").render()
+
+
+class TestHistogram:
+    def test_buckets_are_cumulative_and_end_in_inf(self):
+        h = Histogram("d", "h", buckets=[1.0, 5.0])
+        for value in (0.5, 0.7, 3.0, 100.0):
+            h.observe(value)
+        lines = h.render()
+        assert 'd_bucket{le="1"} 2' in lines
+        assert 'd_bucket{le="5"} 3' in lines
+        assert 'd_bucket{le="+Inf"} 4' in lines
+        assert "d_count 4" in lines
+        assert any(line.startswith("d_sum ") for line in lines)
+
+    def test_sum_totals_observations(self):
+        h = Histogram("d", "h", buckets=[1.0])
+        h.observe(0.25)
+        h.observe(0.25)
+        assert "d_sum 0.5" in h.render()
+
+    def test_labeled_children_render_sorted(self):
+        h = Histogram("d", "h", buckets=[1.0], label_names=("component",))
+        h.labels(component="launching").observe(0.5)
+        h.labels(component="allocation").observe(0.5)
+        lines = [l for l in h.render() if "_count" in l]
+        assert lines == [
+            'd_count{component="allocation"} 1',
+            'd_count{component="launching"} 1',
+        ]
+
+    def test_wrong_labels_are_rejected(self):
+        h = Histogram("d", "h", label_names=("component",))
+        with pytest.raises(ValueError):
+            h.labels(wrong="x")
+        with pytest.raises(ValueError):
+            h.observe(1.0)  # labels required
+
+    def test_boundary_value_lands_in_its_bucket(self):
+        h = Histogram("d", "h", buckets=[1.0, 5.0])
+        h.observe(1.0)  # le is inclusive
+        assert 'd_bucket{le="1"} 1' in h.render()
+
+    def test_empty_buckets_are_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("d", "h", buckets=[])
+
+
+class TestRegistry:
+    def test_creation_requires_help_text(self):
+        registry = MetricsRegistry()
+        with pytest.raises(KeyError):
+            registry.counter("unknown_total")
+        c = registry.counter("known_total", "h")
+        assert registry.counter("known_total") is c
+
+    def test_kind_mismatch_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.counter("x", "h")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+        with pytest.raises(TypeError):
+            registry.histogram("x")
+
+    def test_render_is_sorted_and_newline_terminated(self):
+        registry = MetricsRegistry()
+        registry.counter("z_total", "h").inc()
+        registry.gauge("a_value", "h").set(1)
+        text = registry.render()
+        assert text.endswith("\n")
+        assert text.index("a_value") < text.index("z_total")
+
+    def test_render_is_deterministic(self):
+        registry = build_live_registry()
+        registry.counter("repro_live_ingest_lines_total").inc(7)
+        registry.histogram("repro_live_component_delay_seconds").labels(
+            component="allocation"
+        ).observe(0.2)
+        assert registry.render() == registry.render()
+
+
+class TestLiveRegistry:
+    def test_expected_families_exist(self):
+        registry = build_live_registry()
+        for name in (
+            "repro_live_ingest_lines_total",
+            "repro_live_ingest_records_total",
+            "repro_live_dropped_lines_total",
+            "repro_live_events_total",
+            "repro_live_polls_total",
+            "repro_live_queries_total",
+            "repro_live_slow_consumer_disconnects_total",
+        ):
+            assert registry.counter(name).value == 0
+        for name in (
+            "repro_live_tail_lag_bytes",
+            "repro_live_streams",
+            "repro_live_apps",
+            "repro_live_apps_final",
+        ):
+            assert registry.gauge(name).value == 0
+        histogram = registry.histogram("repro_live_component_delay_seconds")
+        assert histogram.bounds == tuple(DELAY_BUCKETS)
+        assert histogram.label_names == ("component",)
+
+    def test_delay_buckets_cover_the_low_latency_regime(self):
+        # Dense sub-second resolution (the paper's regime) plus a tail.
+        assert sum(1 for b in DELAY_BUCKETS if b < 1.0) >= 6
+        assert DELAY_BUCKETS[-1] >= 60.0
+        assert list(DELAY_BUCKETS) == sorted(DELAY_BUCKETS)

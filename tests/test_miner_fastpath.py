@@ -21,6 +21,7 @@ from repro.core.events import EventKind, SchedulingEvent
 from repro.core.parser import (
     AUTO_JOBS,
     AUTO_SERIAL_THRESHOLD_LINES,
+    JOBS_ENV_VAR,
     LogMiner,
     _gate_kind,
     resolve_jobs,
@@ -383,3 +384,50 @@ class TestResolveJobs:
         big = tmp_path / "big.log"
         big.write_bytes(b"x" * (AUTO_SERIAL_THRESHOLD_LINES * 200))
         assert resolve_jobs(AUTO_JOBS, tmp_path) > 1
+
+
+class TestJobsEnvOverride:
+    """REPRO_JOBS tunes auto resolution; explicit counts still win."""
+
+    def _big_corpus(self, tmp_path, monkeypatch):
+        import repro.core.parser as parser_mod
+
+        monkeypatch.setattr(parser_mod, "available_cpus", lambda: 8)
+        (tmp_path / "big.log").write_bytes(
+            b"x" * (AUTO_SERIAL_THRESHOLD_LINES * 200)
+        )
+        return tmp_path
+
+    def test_env_serial_forces_one_worker(self, tmp_path, monkeypatch):
+        corpus = self._big_corpus(tmp_path, monkeypatch)
+        monkeypatch.setenv(JOBS_ENV_VAR, "serial")
+        assert resolve_jobs(AUTO_JOBS, corpus) == 1
+
+    def test_env_count_is_used(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "5")
+        assert resolve_jobs(AUTO_JOBS, tmp_path) == 5
+
+    def test_env_auto_keeps_the_heuristic(self, tmp_path, monkeypatch):
+        corpus = self._big_corpus(tmp_path, monkeypatch)
+        monkeypatch.setenv(JOBS_ENV_VAR, "auto")
+        assert resolve_jobs(AUTO_JOBS, corpus) > 1
+
+    def test_explicit_count_beats_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "serial")
+        assert resolve_jobs(3, tmp_path) == 3
+
+    def test_env_is_case_and_whitespace_tolerant(self, tmp_path, monkeypatch):
+        corpus = self._big_corpus(tmp_path, monkeypatch)
+        monkeypatch.setenv(JOBS_ENV_VAR, "  SERIAL ")
+        assert resolve_jobs(AUTO_JOBS, corpus) == 1
+
+    @pytest.mark.parametrize("bad", ["0", "-2", "many", "1.5", ""])
+    def test_invalid_values_raise(self, tmp_path, monkeypatch, bad):
+        monkeypatch.setenv(JOBS_ENV_VAR, bad)
+        with pytest.raises(ValueError, match=JOBS_ENV_VAR):
+            resolve_jobs(AUTO_JOBS, tmp_path)
+
+    def test_unset_env_is_ignored(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV_VAR, raising=False)
+        (tmp_path / "small.log").write_bytes(b"short corpus\n")
+        assert resolve_jobs(AUTO_JOBS, tmp_path) == 1
