@@ -3,7 +3,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-miner bench-live bench-paper examples fuzz-smoke live-smoke lint clean
+.PHONY: install test bench bench-miner bench-live bench-paper examples fuzz-smoke live-smoke lint sanitize clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -47,11 +47,21 @@ examples:
 	$(PYTHON) examples/interference_study.py --queries 25
 	$(PYTHON) examples/offline_analysis.py --queries 12
 
-# sdlint: catalog coverage, state-machine structure, determinism.
-# Findings above the checked-in sdlint.baseline fail the build.
+# sdlint: catalog coverage, state-machine structure, determinism,
+# async safety (SD4xx), and process-boundary safety (SD5xx).  Findings
+# above the checked-in sdlint.baseline fail the build, and so does a
+# stale baseline (regenerate with --write-baseline and review).
 lint:
 	$(PYTHON) -m compileall -q src tests benchmarks examples
 	PYTHONPATH=src $(PYTHON) -m repro.analysis
+	PYTHONPATH=src $(PYTHON) -m repro.analysis --check-baseline
+
+# The full suite under the runtime sanitizer: every asyncio callback
+# timed (SD601), every executor submission pickle-checked and
+# spot-verified for worker determinism (SD602/SD603).  Any recorded
+# violation fails the session at teardown.
+sanitize:
+	REPRO_SANITIZE=1 PYTHONPATH=src $(PYTHON) -m pytest tests/ -q
 
 # Caches only — benchmarks/results and src/repro.egg-info are committed
 # and must survive a clean.

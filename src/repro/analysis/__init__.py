@@ -10,7 +10,16 @@ one-word template drift silently drops a delay component from every
 report — end-to-end runs are the only thing that would notice, and only
 if someone stares at the numbers.
 
-This package machine-checks the contract with three static passes:
+PRs 2-5 added a second implicit contract: the miner's parallel fast
+path and the live asyncio server promise byte-identical, low-latency
+answers, which only holds if nothing blocks the event loop and nothing
+leaks state across the process boundary.  A whole-program resolver
+(:mod:`repro.analysis.callgraph`) indexes every module once — relative
+imports, chained re-export aliases, best-effort receiver types — and
+computes a call graph with reachability, so the concurrency passes can
+reason across files.
+
+This package machine-checks both contracts with five static passes:
 
 * **catalog cross-check** (:mod:`repro.analysis.catalog`, rules SD1xx)
   — AST-extract every emission template, synthesize representative
@@ -25,6 +34,21 @@ This package machine-checks the contract with three static passes:
   SD3xx) — AST walk flagging unseeded ``random``/``np.random`` calls
   that bypass :class:`repro.simul.distributions.RandomSource`,
   wall-clock reads, and iteration over unordered sets.
+* **async safety** (:mod:`repro.analysis.asyncsafety`, rules SD4xx) —
+  blocking calls reachable from ``async def`` bodies (with the call
+  chain named), un-awaited coroutines and discarded task handles, and
+  unbounded queues / ``queue.join()`` without a timeout.
+* **process-boundary safety** (:mod:`repro.analysis.procsafety`, rules
+  SD5xx) — executor-submitted functions that transitively mutate
+  module globals, ``__slots__`` payloads crossing the worker boundary
+  without a pickle contract, and shared ``RandomSource`` streams
+  without a ``.child()`` substream split.
+
+The static passes are paired with an opt-in *runtime* sanitizer
+(:mod:`repro.analysis.sanitizer`, rules SD6xx, env ``REPRO_SANITIZE=1``)
+that times every event-loop callback and spot-checks executor payload
+picklability and worker determinism, reporting through the same
+:class:`Finding` model.
 
 Run it as ``python -m repro.analysis`` (see :mod:`repro.analysis.cli`);
 known-accepted findings live in the checked-in ``sdlint.baseline``.
@@ -41,8 +65,14 @@ __all__ = ["Finding", "RULES", "run_all", "sort_findings"]
 
 
 def run_all(root: Optional[Path] = None) -> List[Finding]:
-    """Run all three passes over ``root`` (the directory holding ``repro``)."""
-    from repro.analysis import catalog, determinism, statemachines
+    """Run all five passes over ``root`` (the directory holding ``repro``)."""
+    from repro.analysis import (
+        asyncsafety,
+        catalog,
+        determinism,
+        procsafety,
+        statemachines,
+    )
     from repro.analysis.cli import default_root
 
     root = Path(root) if root is not None else default_root()
@@ -50,4 +80,6 @@ def run_all(root: Optional[Path] = None) -> List[Finding]:
     findings.extend(catalog.run(root))
     findings.extend(statemachines.run(root))
     findings.extend(determinism.run(root))
+    findings.extend(asyncsafety.run(root))
+    findings.extend(procsafety.run(root))
     return sort_findings(findings)

@@ -17,7 +17,7 @@ from typing import Iterable, List, Sequence, Set, Tuple
 
 from repro.analysis.findings import Finding
 
-__all__ = ["load_baseline", "partition", "write_baseline"]
+__all__ = ["load_baseline", "partition", "render_baseline", "write_baseline"]
 
 _HEADER = """\
 # sdlint baseline — accepted findings, one key per line.
@@ -40,11 +40,25 @@ def load_baseline(path: Path) -> Set[str]:
     return keys
 
 
+def render_baseline(findings: Iterable[Finding]) -> str:
+    """The exact file content ``--write-baseline`` would produce.
+
+    Exposed so ``--check-baseline`` (and CI) can detect a stale
+    checked-in baseline by string comparison.
+    """
+    keys = sorted({finding.key for finding in findings})
+    return _HEADER + "".join(key + "\n" for key in keys)
+
+
 def write_baseline(path: Path, findings: Iterable[Finding]) -> int:
     """Write every finding's key to ``path``; returns the entry count."""
-    keys = sorted({finding.key for finding in findings})
-    Path(path).write_text(_HEADER + "".join(key + "\n" for key in keys))
-    return len(keys)
+    content = render_baseline(findings)
+    Path(path).write_text(content)
+    return sum(
+        1
+        for line in content.splitlines()
+        if line.strip() and not line.startswith("#")
+    )
 
 
 def partition(

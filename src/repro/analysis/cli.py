@@ -1,12 +1,13 @@
 """Command-line interface: ``python -m repro.analysis [options]``.
 
-Runs the three sdlint passes over the simulator source tree, filters
+Runs the five sdlint passes over the simulator source tree, filters
 the findings through the checked-in baseline, and exits non-zero when
 anything above the baseline remains — the shape CI wants::
 
     PYTHONPATH=src python -m repro.analysis            # human output
     PYTHONPATH=src python -m repro.analysis --json     # machine output
     PYTHONPATH=src python -m repro.analysis --write-baseline
+    PYTHONPATH=src python -m repro.analysis --check-baseline  # stale?
 
 The scan root is the directory *containing* the ``repro`` package
 (``src/`` in a checkout); the default baseline sits next to it at
@@ -22,8 +23,19 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
 import repro
-from repro.analysis import catalog, determinism, statemachines
-from repro.analysis.baseline import load_baseline, partition, write_baseline
+from repro.analysis import (
+    asyncsafety,
+    catalog,
+    determinism,
+    procsafety,
+    statemachines,
+)
+from repro.analysis.baseline import (
+    load_baseline,
+    partition,
+    render_baseline,
+    write_baseline,
+)
 from repro.analysis.findings import Finding, sort_findings
 
 __all__ = ["PASSES", "build_arg_parser", "default_root", "main"]
@@ -33,6 +45,8 @@ PASSES: Dict[str, Callable[[Path], List[Finding]]] = {
     "catalog": catalog.run,
     "statemachines": statemachines.run,
     "determinism": determinism.run,
+    "asyncsafety": asyncsafety.run,
+    "procsafety": procsafety.run,
 }
 
 
@@ -46,8 +60,8 @@ def build_arg_parser() -> argparse.ArgumentParser:
         prog="sdlint",
         description=(
             "Static contract checker for the SDchecker reproduction: "
-            "log-catalog coverage, state-machine structure, and "
-            "simulator determinism."
+            "log-catalog coverage, state-machine structure, simulator "
+            "determinism, async safety, and process-boundary safety."
         ),
     )
     parser.add_argument(
@@ -65,7 +79,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
         dest="passes",
         action="append",
         choices=sorted(PASSES),
-        help="run only this pass (repeatable; default: all three)",
+        help="run only this pass (repeatable; default: all)",
     )
     parser.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON"
@@ -74,6 +88,13 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "--write-baseline",
         action="store_true",
         help="accept all current findings into the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--check-baseline",
+        action="store_true",
+        help="exit 1 if the checked-in baseline differs from what "
+        "--write-baseline would produce now (stale-baseline CI gate; "
+        "run with all passes enabled)",
     )
     return parser
 
@@ -95,6 +116,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.write_baseline:
         count = write_baseline(baseline_path, findings)
         print(f"sdlint: wrote {count} baseline entrie(s) to {baseline_path}")
+        return 0
+
+    if args.check_baseline:
+        expected = render_baseline(findings)
+        actual = baseline_path.read_text() if baseline_path.is_file() else ""
+        if expected != actual:
+            print(
+                f"sdlint: baseline {baseline_path} is stale; regenerate "
+                f"with --write-baseline and review the diff"
+            )
+            return 1
+        print(f"sdlint: baseline {baseline_path} is up to date")
         return 0
 
     active, suppressed, unused = partition(findings, load_baseline(baseline_path))

@@ -35,15 +35,25 @@ from __future__ import annotations
 
 import ast
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.analysis.extract import iter_source_files
 from repro.analysis.findings import Finding, make_finding
 
-__all__ = ["ALLOWED_PATHS", "run", "scan_source", "scan_tree"]
+__all__ = [
+    "ALLOWED_PATHS",
+    "ALLOWED_WALL_CLOCK_PATHS",
+    "run",
+    "scan_source",
+    "scan_tree",
+]
 
 #: Files exempt from SD301: the sanctioned RNG wrapper itself.
 ALLOWED_PATHS = frozenset({"repro/simul/distributions.py"})
+
+#: Files exempt from SD302: the runtime sanitizer *measures the host*
+#: on purpose (loop-stall timing), so its ``perf_counter`` is the point.
+ALLOWED_WALL_CLOCK_PATHS = frozenset({"repro/analysis/sanitizer.py"})
 
 #: Canonical dotted names that read the host clock.
 _WALL_CLOCK_CALLS = frozenset(
@@ -54,13 +64,31 @@ _WALL_CLOCK_CALLS = frozenset(
         "time.monotonic_ns",
         "time.perf_counter",
         "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "time.thread_time",
+        "time.thread_time_ns",
+        "time.clock_gettime",
+        "time.clock_gettime_ns",
         "time.localtime",
         "time.gmtime",
         "time.ctime",
+        "os.times",
         "datetime.datetime.now",
         "datetime.datetime.utcnow",
         "datetime.datetime.today",
         "datetime.date.today",
+    }
+)
+
+#: ``fromtimestamp`` converters: fine when fed an explicit, log-derived
+#: value, but flagged when the source argument is missing or is itself
+#: a call — then the "timestamp" is being manufactured on the spot.
+_FROM_TIMESTAMP_CALLS = frozenset(
+    {
+        "datetime.datetime.fromtimestamp",
+        "datetime.datetime.utcfromtimestamp",
+        "datetime.date.fromtimestamp",
     }
 )
 
@@ -76,7 +104,16 @@ _COMPLETION_ORDER_CALLS = frozenset(
 class _ModuleNames:
     """Resolves local names back to canonical module-dotted paths."""
 
-    def __init__(self, tree: ast.Module):
+    def __init__(self, tree: ast.Module, path: str = ""):
+        # Imported lazily to keep the scan_source fast path import-light
+        # and to avoid a cycle at module load.
+        from repro.analysis.callgraph import (
+            module_name_of,
+            resolve_relative_import,
+        )
+
+        module = module_name_of(path) if path else ""
+        is_package = path.endswith("__init__.py")
         #: local alias -> canonical module path ("np" -> "numpy").
         self.modules: Dict[str, str] = {}
         #: local name -> canonical dotted path ("now" -> "datetime.datetime.now").
@@ -87,10 +124,24 @@ class _ModuleNames:
                     self.modules[alias.asname or alias.name.split(".")[0]] = (
                         alias.name if alias.asname else alias.name.split(".")[0]
                     )
-            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:
+                    # ``from .compat import now`` — resolvable once the
+                    # scan knows which module it is looking at.
+                    if not module:
+                        continue
+                    base = resolve_relative_import(
+                        module, is_package, node.level, node.module
+                    )
+                    if base is None:
+                        continue
+                elif node.module:
+                    base = node.module
+                else:
+                    continue
                 for alias in node.names:
                     self.names[alias.asname or alias.name] = (
-                        f"{node.module}.{alias.name}"
+                        f"{base}.{alias.name}"
                     )
 
     def canonical_call(self, func: ast.expr) -> Optional[str]:
@@ -121,18 +172,45 @@ def _is_set_expr(node: ast.expr) -> bool:
     )
 
 
-def scan_source(source: str, path: str) -> List[Finding]:
-    """All SD3xx findings in one module's source text."""
+def scan_source(
+    source: str,
+    path: str,
+    resolve: Optional[Callable[[str], str]] = None,
+) -> List[Finding]:
+    """All SD3xx findings in one module's source text.
+
+    ``resolve`` (supplied by :func:`scan_tree`) canonicalizes a dotted
+    name across *chained project aliases* — ``from .compat import now``
+    where ``compat`` itself does ``from time import time as now``
+    resolves to ``time.time`` — so in-package re-exports cannot launder
+    banned calls.  Standalone scans fall back to single-hop resolution.
+    """
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError:
         return []
-    names = _ModuleNames(tree)
+    names = _ModuleNames(tree, path)
     findings: List[Finding] = []
     for node in ast.walk(tree):
         if isinstance(node, ast.Call):
             canonical = names.canonical_call(node.func)
             if canonical is None:
+                continue
+            if resolve is not None:
+                canonical = resolve(canonical)
+            if canonical in _FROM_TIMESTAMP_CALLS:
+                source_arg = node.args[0] if node.args else None
+                if source_arg is None or isinstance(source_arg, ast.Call):
+                    findings.append(
+                        make_finding(
+                            "SD302",
+                            path,
+                            node.lineno,
+                            f"call to {canonical}() without an explicit "
+                            f"log-derived source value manufactures a "
+                            f"timestamp; pass a mined value instead",
+                        )
+                    )
                 continue
             if (
                 canonical.startswith("random.")
@@ -147,7 +225,10 @@ def scan_source(source: str, path: str) -> List[Finding]:
                         f"repro.simul.distributions.RandomSource streams",
                     )
                 )
-            elif canonical in _WALL_CLOCK_CALLS:
+            elif (
+                canonical in _WALL_CLOCK_CALLS
+                and path not in ALLOWED_WALL_CLOCK_PATHS
+            ):
                 findings.append(
                     make_finding(
                         "SD302",
@@ -195,15 +276,27 @@ def scan_source(source: str, path: str) -> List[Finding]:
 
 
 def scan_tree(root: Path) -> List[Finding]:
-    """SD3xx findings for every source file under ``root``."""
+    """SD3xx findings for every source file under ``root``.
+
+    Tree scans resolve dotted names through the whole-program
+    :class:`~repro.analysis.callgraph.ProjectIndex`, so aliases chained
+    across modules (relative-import re-exports included) canonicalize
+    back to the stdlib names the ban lists speak.
+    """
+    from repro.analysis.callgraph import ProjectIndex
+
     root = Path(root)
-    findings: List[Finding] = []
+    sources: Dict[str, str] = {}
     for path in iter_source_files(root):
         try:
             rel = path.resolve().relative_to(root.resolve()).as_posix()
         except ValueError:
             rel = path.as_posix()
-        findings.extend(scan_source(path.read_text(), rel))
+        sources[rel] = path.read_text()
+    index = ProjectIndex.from_sources(sources)
+    findings: List[Finding] = []
+    for rel in sorted(sources):
+        findings.extend(scan_source(sources[rel], rel, resolve=index.resolve_dotted))
     return findings
 
 

@@ -16,7 +16,10 @@ __all__ = ["Finding", "RULES", "make_finding", "sort_findings"]
 
 #: rule ID -> (severity, short slug).  The SD1xx block is the catalog
 #: cross-check, SD2xx the state-machine analysis, SD3xx the determinism
-#: lint — mirroring the three passes.
+#: lint, SD4xx the async-safety pass, SD5xx the process-boundary pass —
+#: mirroring the five static passes.  SD6xx is reserved for the runtime
+#: sanitizer (:mod:`repro.analysis.sanitizer`), whose findings flow
+#: through the same model.
 RULES: Dict[str, Tuple[str, str]] = {
     "SD101": ("error", "uncovered-emission"),
     "SD102": ("error", "ambiguous-emission"),
@@ -30,6 +33,15 @@ RULES: Dict[str, Tuple[str, str]] = {
     "SD302": ("error", "wall-clock"),
     "SD303": ("warning", "unordered-iteration"),
     "SD304": ("error", "completion-order-merge"),
+    "SD401": ("error", "blocking-in-async"),
+    "SD402": ("error", "unawaited-coroutine"),
+    "SD403": ("warning", "unbounded-queue"),
+    "SD501": ("error", "worker-state-divergence"),
+    "SD502": ("warning", "slots-without-pickle-contract"),
+    "SD503": ("error", "shared-random-source"),
+    "SD601": ("error", "loop-stall"),
+    "SD602": ("error", "unpicklable-payload"),
+    "SD603": ("error", "nondeterministic-worker"),
 }
 
 

@@ -177,6 +177,22 @@ def _head_entry(head: bytes):
     )
 
 
+def _pool_map(pool: ProcessPoolExecutor, fn, tasks, chunksize: int = 1):
+    """Order-preserving ``pool.map``, optionally sanitizer-checked.
+
+    Under ``REPRO_SANITIZE=1`` submissions route through
+    :func:`repro.analysis.sanitizer.checked_map`, which verifies that
+    payloads pickle and double-submits a sampled fraction to confirm
+    worker determinism.  Either way results come back in submission
+    order — the property the deterministic merges rely on.
+    """
+    if os.environ.get("REPRO_SANITIZE", "") == "1":
+        from repro.analysis.sanitizer import checked_map
+
+        return checked_map(pool, fn, tasks, chunksize=chunksize)
+    return pool.map(fn, tasks, chunksize=chunksize)
+
+
 def _gate_kind(daemon: str) -> Optional[str]:
     """Stream type for phase-1 gating; mirrors :meth:`LogMiner._mine_stream`."""
     if _CONTAINER_DAEMON_RE.match(daemon):
@@ -254,7 +270,9 @@ class LogMiner:
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 # Executor.map preserves input order: the merge is
                 # deterministic no matter which worker finishes first.
-                results = list(pool.map(_mine_stream_task, tasks, chunksize=chunksize))
+                results = list(
+                    _pool_map(pool, _mine_stream_task, tasks, chunksize=chunksize)
+                )
         events = [event for stream_events, _diag in results for event in stream_events]
         diagnostics = MiningDiagnostics()
         for _events, stream_diag in results:
@@ -302,7 +320,9 @@ class LogMiner:
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 # Executor.map preserves input order: the merge below is
                 # deterministic no matter which worker finishes first.
-                scans = list(pool.map(_mine_chunk_task, tasks, chunksize=chunksize))
+                scans = list(
+                    _pool_map(pool, _mine_chunk_task, tasks, chunksize=chunksize)
+                )
         events: List[SchedulingEvent] = []
         diagnostics = MiningDiagnostics()
         cursor = 0

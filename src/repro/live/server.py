@@ -40,6 +40,11 @@ __all__ = ["LiveServer", "ServerHandle", "serve_in_thread"]
 #: slow consumer and disconnected.
 DEFAULT_QUEUE_DEPTH = 64
 
+#: Upper bound on waiting for a connection's response queue to drain.
+#: If the writer task died (e.g. the peer reset the connection) with
+#: items still queued, ``queue.join()`` would otherwise wait forever.
+DRAIN_TIMEOUT = 5.0
+
 
 class LiveServer:
     """Serves one :class:`LiveSession` over JSON lines, polling as it goes."""
@@ -67,6 +72,10 @@ class LiveServer:
 
     # -- lifecycle ---------------------------------------------------------
     async def start(self) -> "LiveServer":
+        from repro.analysis import sanitizer
+
+        if sanitizer.enabled():
+            sanitizer.install_loop_monitor()
         self._shutdown = asyncio.Event()
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port
@@ -130,7 +139,10 @@ class LiveServer:
                     break
                 if response.get("op") == "shutdown" and response.get("ok"):
                     # Let the response flush, then stop the server.
-                    await queue.join()
+                    with contextlib.suppress(asyncio.TimeoutError):
+                        await asyncio.wait_for(
+                            queue.join(), timeout=DRAIN_TIMEOUT
+                        )
                     self.request_shutdown()
                     break
         except (ConnectionResetError, asyncio.IncompleteReadError):
@@ -138,7 +150,7 @@ class LiveServer:
         finally:
             if not dropped:
                 with contextlib.suppress(Exception):
-                    await queue.join()
+                    await asyncio.wait_for(queue.join(), timeout=DRAIN_TIMEOUT)
             writer_task.cancel()
             with contextlib.suppress(asyncio.CancelledError):
                 await writer_task

@@ -18,6 +18,30 @@ from repro.testbed import Testbed
 from repro.workloads.tpch import TPCHDataset, TPCHQueryWorkload
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _repro_sanitizer():
+    """Arm the runtime sanitizer for the whole suite under REPRO_SANITIZE=1.
+
+    The loop-stall monitor and the checked executor boundary accumulate
+    findings as tests run; any violation fails the session at teardown
+    with the offending callbacks/workers named.
+    """
+    from repro.analysis import sanitizer
+
+    if not sanitizer.enabled():
+        yield
+        return
+    sanitizer.reset()
+    sanitizer.install_loop_monitor()
+    yield
+    sanitizer.uninstall_loop_monitor()
+    violations = sanitizer.report()
+    sanitizer.reset()
+    assert not violations, "sanitizer violations:\n" + "\n".join(
+        f.render() for f in violations
+    )
+
+
 @pytest.fixture
 def sim() -> Simulator:
     return Simulator()

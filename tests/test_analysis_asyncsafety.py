@@ -1,0 +1,202 @@
+"""Tests for sdlint pass 4: the async-safety lint (SD401-SD403)."""
+
+from pathlib import Path
+
+from repro.analysis import asyncsafety
+
+SRC_ROOT = Path(__file__).resolve().parents[1] / "src"
+
+
+def rules_of(sources):
+    return [f.rule for f in asyncsafety.scan_sources(sources)]
+
+
+class TestSD401Blocking:
+    def test_direct_blocking_call_fires_once(self):
+        findings = asyncsafety.scan_sources(
+            {"repro/srv.py": "import time\nasync def h():\n    time.sleep(1)\n"}
+        )
+        assert [f.rule for f in findings] == ["SD401"]
+        assert "time.sleep" in findings[0].message
+        assert findings[0].path == "repro/srv.py"
+
+    def test_async_sleep_is_sanctioned(self):
+        assert (
+            rules_of(
+                {
+                    "repro/srv.py": (
+                        "import asyncio\n"
+                        "async def h():\n"
+                        "    await asyncio.sleep(1)\n"
+                    )
+                }
+            )
+            == []
+        )
+
+    def test_blocking_reachable_through_a_sync_chain(self):
+        findings = asyncsafety.scan_sources(
+            {
+                "repro/a.py": (
+                    "from repro.b import work\n"
+                    "async def h():\n"
+                    "    return work()\n"
+                ),
+                "repro/b.py": (
+                    "def work():\n"
+                    "    with open('x') as fh:\n"
+                    "        return fh.read()\n"
+                ),
+            }
+        )
+        assert [f.rule for f in findings] == ["SD401"]
+        assert "via work" in findings[0].message
+        # Anchored at the async body's call site, in the async file.
+        assert findings[0].path == "repro/a.py"
+
+    def test_two_paths_to_the_same_blocking_call_dedupe(self):
+        findings = asyncsafety.scan_sources(
+            {
+                "repro/a.py": (
+                    "from repro.b import left, right\n"
+                    "async def h():\n"
+                    "    left()\n"
+                    "    right()\n"
+                ),
+                "repro/b.py": (
+                    "def left():\n"
+                    "    return open('x')\n"
+                    "def right():\n"
+                    "    return open('y')\n"
+                ),
+            }
+        )
+        assert [f.rule for f in findings] == ["SD401"]
+
+    def test_sync_functions_are_not_flagged(self):
+        assert (
+            rules_of({"repro/s.py": "import time\ndef h():\n    time.sleep(1)\n"})
+            == []
+        )
+
+
+class TestSD402Unawaited:
+    SOURCES = {
+        "repro/c.py": (
+            "import asyncio\n"
+            "async def job():\n"
+            "    return 1\n"
+            "async def main():\n"
+            "    job()\n"
+            "    asyncio.create_task(job())\n"
+        )
+    }
+
+    def test_bare_coroutine_call_and_dropped_task_handle(self):
+        findings = asyncsafety.scan_sources(self.SOURCES)
+        assert [f.rule for f in findings] == ["SD402", "SD402"]
+        messages = " ".join(f.message for f in findings)
+        assert "never awaited" in messages
+        assert "create_task" in messages
+
+    def test_awaited_and_retained_forms_are_clean(self):
+        assert (
+            rules_of(
+                {
+                    "repro/c.py": (
+                        "import asyncio\n"
+                        "async def job():\n"
+                        "    return 1\n"
+                        "async def main():\n"
+                        "    await job()\n"
+                        "    task = asyncio.create_task(job())\n"
+                        "    await task\n"
+                    )
+                }
+            )
+            == []
+        )
+
+
+class TestSD403Queues:
+    def test_unbounded_queue_construction(self):
+        findings = asyncsafety.scan_sources(
+            {
+                "repro/q.py": (
+                    "import asyncio\n"
+                    "async def main():\n"
+                    "    q = asyncio.Queue()\n"
+                    "    await q.put(1)\n"
+                )
+            }
+        )
+        assert [f.rule for f in findings] == ["SD403"]
+        assert "maxsize" in findings[0].message
+
+    def test_explicit_zero_maxsize_is_still_unbounded(self):
+        assert (
+            rules_of(
+                {
+                    "repro/q.py": (
+                        "import asyncio\n"
+                        "async def main():\n"
+                        "    q = asyncio.Queue(0)\n"
+                    )
+                }
+            )
+            == ["SD403"]
+        )
+
+    def test_bounded_queue_is_clean(self):
+        assert (
+            rules_of(
+                {
+                    "repro/q.py": (
+                        "import asyncio\n"
+                        "async def main():\n"
+                        "    q = asyncio.Queue(maxsize=8)\n"
+                    )
+                }
+            )
+            == []
+        )
+
+    def test_join_without_timeout(self):
+        findings = asyncsafety.scan_sources(
+            {
+                "repro/q.py": (
+                    "import asyncio\n"
+                    "async def drain(q: asyncio.Queue):\n"
+                    "    await q.join()\n"
+                )
+            }
+        )
+        assert [f.rule for f in findings] == ["SD403"]
+        assert "wait_for" in findings[0].message
+
+    def test_join_wrapped_in_wait_for_is_clean(self):
+        assert (
+            rules_of(
+                {
+                    "repro/q.py": (
+                        "import asyncio\n"
+                        "async def drain(q: asyncio.Queue):\n"
+                        "    await asyncio.wait_for(q.join(), timeout=5.0)\n"
+                    )
+                }
+            )
+            == []
+        )
+
+
+class TestRealTree:
+    def test_only_the_baselined_poll_loop_deviation_remains(self):
+        findings = asyncsafety.run(SRC_ROOT)
+        assert [f.rule for f in findings] == ["SD401"]
+        assert findings[0].path == "repro/live/server.py"
+        assert "_poll_loop" in findings[0].message
+
+    def test_live_and_faults_have_no_other_async_findings(self):
+        paths = {f.path for f in asyncsafety.run(SRC_ROOT) if f.rule != "SD401"}
+        assert not any(p.startswith("repro/live/") for p in paths)
+        assert not any(p.startswith("repro/faults/") for p in paths)

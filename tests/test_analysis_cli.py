@@ -41,11 +41,13 @@ class TestPristine:
         payload = json.loads(capsys.readouterr().out)
         assert rc == 0
         assert payload["findings"] == []
-        assert payload["suppressed"] == 6
+        assert payload["suppressed"] == 7
         assert payload["unused_baseline"] == []
         assert sorted(payload["passes"]) == [
+            "asyncsafety",
             "catalog",
             "determinism",
+            "procsafety",
             "statemachines",
         ]
 
@@ -137,6 +139,26 @@ class TestBaselineWorkflow:
         out = capsys.readouterr().out
         assert rc == 0
         assert "unused baseline entry: SD301 repro/gone.py stale entry" in out
+
+    def test_check_baseline_fresh_and_stale(self, tmp_path, capsys):
+        rc = main(
+            [
+                "--root",
+                str(SRC_ROOT),
+                "--baseline",
+                str(BASELINE),
+                "--check-baseline",
+            ]
+        )
+        assert rc == 0
+        assert "up to date" in capsys.readouterr().out
+        stale = tmp_path / "stale.baseline"
+        stale.write_text(BASELINE.read_text() + "SD301 repro/gone.py stale\n")
+        rc = main(
+            ["--root", str(SRC_ROOT), "--baseline", str(stale), "--check-baseline"]
+        )
+        assert rc == 1
+        assert "stale" in capsys.readouterr().out
 
     def test_partition_roundtrip(self, tmp_path):
         findings = [

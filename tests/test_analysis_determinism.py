@@ -113,6 +113,106 @@ class TestWallClockLocaltimeFamily:
         assert rules_of(source) == []
 
 
+class TestWallClockExtendedSet:
+    """The SD302 audit additions: process clocks, os.times, and the
+    fromtimestamp converters."""
+
+    def test_os_times(self):
+        assert rules_of("import os\nt = os.times()\n") == ["SD302"]
+
+    def test_process_time(self):
+        assert rules_of("import time\nt = time.process_time()\n") == ["SD302"]
+
+    def test_clock_gettime_ns(self):
+        source = "import time\nt = time.clock_gettime_ns(time.CLOCK_REALTIME)\n"
+        assert rules_of(source) == ["SD302"]
+
+    def test_fromtimestamp_with_log_derived_value_is_fine(self):
+        source = (
+            "import datetime\n"
+            "def stamp(ts):\n"
+            "    return datetime.datetime.fromtimestamp(ts)\n"
+        )
+        assert rules_of(source) == []
+
+    def test_fromtimestamp_of_a_call_manufactures_a_timestamp(self):
+        source = (
+            "import time\nimport datetime\n"
+            "t = datetime.datetime.fromtimestamp(time.time())\n"
+        )
+        # Both the converter and the inner clock read are flagged.
+        assert rules_of(source) == ["SD302", "SD302"]
+
+    def test_sanitizer_module_is_exempt(self):
+        source = "import time\nt = time.perf_counter()\n"
+        assert rules_of(source, "repro/analysis/sanitizer.py") == []
+        assert rules_of(source) == ["SD302"]
+
+
+class TestRelativeImports:
+    """Regression: ``node.level > 0`` imports used to be dropped, so
+    in-package aliases could launder banned calls."""
+
+    def _tree(self, tmp_path, mod_source, compat_source=None):
+        pkg = tmp_path / "repro" / "pkg"
+        pkg.mkdir(parents=True)
+        (tmp_path / "repro" / "__init__.py").write_text("")
+        (pkg / "__init__.py").write_text("")
+        if compat_source is not None:
+            (pkg / "compat.py").write_text(compat_source)
+        (pkg / "mod.py").write_text(mod_source)
+        return tmp_path
+
+    def test_sd301_fires_through_a_relative_reexport(self, tmp_path):
+        root = self._tree(
+            tmp_path,
+            "from .compat import roll\n\n\ndef jitter():\n    return roll()\n",
+            "from random import random as roll\n",
+        )
+        findings = determinism.scan_tree(root)
+        assert [(f.rule, f.path) for f in findings] == [
+            ("SD301", "repro/pkg/mod.py")
+        ]
+
+    def test_sd302_fires_through_a_relative_reexport(self, tmp_path):
+        root = self._tree(
+            tmp_path,
+            "from .compat import now\n\n\ndef stamp():\n    return now()\n",
+            "from time import time as now\n",
+        )
+        findings = determinism.scan_tree(root)
+        assert [(f.rule, f.path) for f in findings] == [
+            ("SD302", "repro/pkg/mod.py")
+        ]
+
+    def test_sd303_fires_in_a_module_using_relative_imports(self, tmp_path):
+        root = self._tree(
+            tmp_path,
+            "from .compat import ITEMS\n\n\n"
+            "def order():\n    return [x for x in set(ITEMS)]\n",
+            "ITEMS = (1, 2, 3)\n",
+        )
+        findings = determinism.scan_tree(root)
+        assert [(f.rule, f.path) for f in findings] == [
+            ("SD303", "repro/pkg/mod.py")
+        ]
+
+    def test_single_file_scan_resolves_relative_stdlib_alias(self):
+        # Per-file scans now know their own module name, so a relative
+        # alias chain inside the *same* package still needs the tree
+        # scan; but a direct relative import no longer hides the name.
+        source = "from . import compat\n"
+        assert determinism.scan_source(source, "repro/pkg/mod.py") == []
+
+    def test_clean_relative_imports_stay_clean(self, tmp_path):
+        root = self._tree(
+            tmp_path,
+            "from .compat import helper\n\n\ndef f():\n    return helper()\n",
+            "def helper():\n    return 42\n",
+        )
+        assert determinism.scan_tree(root) == []
+
+
 class TestPristineTree:
     def test_simulator_source_is_deterministic(self):
         assert determinism.run(SRC_ROOT) == []
