@@ -3,7 +3,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-miner bench-live bench-paper examples fuzz-smoke live-smoke lint sanitize clean
+.PHONY: install test bench bench-miner bench-live bench-paper examples fuzz-smoke live-smoke live-shard-smoke lint sanitize clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -32,6 +32,14 @@ bench-live:
 live-smoke:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/test_live_smoke.py tests/test_live_server.py -q
 	REPRO_BENCH_SMOKE=1 PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_live_throughput.py -q -s
+
+# Sharded deployment smoke: partition/merge units, the router over
+# real shard servers, a 2-process ShardedLiveService with the HTTP
+# metrics endpoint, and the smoke-mode shard-scaling benchmark (which
+# re-checks merged-drain == batch at benchmark scale).
+live-shard-smoke:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/test_live_sharded.py -q
+	REPRO_BENCH_SMOKE=1 PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_live_throughput.py::test_sharded_ingest_scaling -q -s
 
 # Seeded corruption sweep over the golden corpus: every catalog
 # corruption x seed must leave analyze() crash-free, and the

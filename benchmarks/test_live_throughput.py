@@ -29,7 +29,13 @@ import numpy as np
 
 from benchmarks.test_miner_throughput import build_corpus, corpus_apps
 from repro.core.checker import SDChecker
-from repro.live import LiveClient, LiveSession, serve_in_thread
+from repro.live import (
+    LiveClient,
+    LiveSession,
+    ShardedLiveService,
+    report_from_state_payload,
+    serve_in_thread,
+)
 
 RESULTS_DIR = Path(__file__).parent / "results"
 BENCH_FILE = RESULTS_DIR / "BENCH_live.json"
@@ -39,6 +45,9 @@ _POLL_ROUNDS = 16
 #: Concurrent query clients and requests per client.
 _CLIENTS = {"smoke": 2, "small": 4, "paper": 8}
 _REQUESTS_PER_CLIENT = {"smoke": 25, "small": 100, "paper": 300}
+
+#: Worker processes in the sharded ingest comparison.
+_SHARDS = 4
 
 #: Conservative floors/ceilings — regression tripwires, not records.
 #: The smoke corpus is so small that fixed per-poll overhead (directory
@@ -159,3 +168,90 @@ def test_live_throughput(scale, tmp_path):
         f"query p99 {p99_s * 1000:.1f}ms above the "
         f"{_MAX_QUERY_P99_S * 1000:.0f}ms ceiling"
     )
+
+
+def _partition_files(src_dir: Path, dest_root: Path, shards: int):
+    """Round-robin the corpus files into ``shards`` directories."""
+    shard_dirs = [dest_root / f"shard{index}" for index in range(shards)]
+    for shard_dir in shard_dirs:
+        shard_dir.mkdir()
+    for index, path in enumerate(sorted(src_dir.iterdir())):
+        (shard_dirs[index % shards] / path.name).write_bytes(
+            path.read_bytes()
+        )
+    return shard_dirs
+
+
+def _timed_sharded_drain(shard_dirs, shards: int):
+    """Drain a fresh deployment; returns (merged state, seconds).
+
+    The workers start with polling disabled so the whole corpus is
+    ingested inside the timed ``drain`` round trip — process spawn and
+    socket setup stay outside the measurement.
+    """
+    service = ShardedLiveService(shard_dirs, shards=shards, poll=False)
+    with service:
+        with service.client(timeout=600.0) as client:
+            start = time.perf_counter()
+            state = client.drain()
+            elapsed = time.perf_counter() - start
+    return state, elapsed
+
+
+def test_sharded_ingest_scaling(scale, tmp_path):
+    """Sharded drain throughput vs a single worker, same methodology.
+
+    Records ``sharded_ingest_lps`` next to the single-process number and
+    re-checks the sharded byte-identity contract at benchmark scale.
+    The speedup assertions are gated on the runner's CPU count: shard
+    processes can only overlap where cores exist to run them.
+    """
+    mode = "smoke" if os.environ.get("REPRO_BENCH_SMOKE") else scale
+    store = build_corpus(mode)
+    lines = len(store)
+    src_dir = tmp_path / "finished"
+    store.dump(src_dir)
+    shard_dirs = _partition_files(src_dir, tmp_path, _SHARDS)
+
+    _, single_seconds = _timed_sharded_drain(shard_dirs, 1)
+    merged_state, sharded_seconds = _timed_sharded_drain(shard_dirs, _SHARDS)
+    single_lps = lines / single_seconds if single_seconds > 0 else float("inf")
+    sharded_lps = (
+        lines / sharded_seconds if sharded_seconds > 0 else float("inf")
+    )
+
+    # -- the sharded byte-identity contract at benchmark scale ----------
+    batch_report = SDChecker(jobs=1).analyze(src_dir)
+    merged = report_from_state_payload(merged_state)
+    assert json.loads(
+        json.dumps(merged.to_dict(include_diagnostics=True))
+    ) == json.loads(
+        json.dumps(batch_report.to_dict(include_diagnostics=True))
+    )
+
+    cpus = os.cpu_count() or 1
+    point = {
+        "mode": mode,
+        "corpus_lines": lines,
+        "shards": _SHARDS,
+        "cpus": cpus,
+        "single_ingest_lps": round(single_lps),
+        "sharded_ingest_lps": round(sharded_lps),
+    }
+    _record_point(point)
+    print()
+    print(json.dumps(point))
+
+    if cpus >= 2:
+        # Never slower than one process (5% allowance for timer noise).
+        assert sharded_lps >= single_lps * 0.95, (
+            f"sharded ingest {sharded_lps:.0f} lines/s slower than a "
+            f"single process at {single_lps:.0f} lines/s on {cpus} CPUs"
+        )
+    if cpus >= 4 and mode != "smoke":
+        # The smoke corpus is too small for spawn/merge overhead to
+        # amortize; at real scales four workers must halve the time.
+        assert sharded_lps >= single_lps * 2, (
+            f"sharded ingest {sharded_lps:.0f} lines/s is not 2x the "
+            f"single-process {single_lps:.0f} lines/s on {cpus} CPUs"
+        )

@@ -149,6 +149,10 @@ class ClassInfo:
     methods: Dict[str, str] = field(default_factory=dict)
     #: instance attribute -> class qualname (project classes only).
     attr_types: Dict[str, str] = field(default_factory=dict)
+    #: container-valued attribute -> *element* class qualname, from
+    #: annotations like ``List[DirectoryTailer]`` — what a ``for`` loop
+    #: over the attribute binds.
+    attr_elem_types: Dict[str, str] = field(default_factory=dict)
     defines_slots: bool = False
     is_dataclass: bool = False
     has_pickle_protocol: bool = False
@@ -427,6 +431,51 @@ class ProjectIndex:
             return resolved
         return None
 
+    #: Generic heads whose subscript names what iteration yields.
+    _CONTAINER_HEADS = frozenset(
+        {
+            "List", "Sequence", "MutableSequence", "Tuple", "Set",
+            "FrozenSet", "Iterable", "Iterator", "Deque",
+            "list", "tuple", "set", "frozenset", "deque",
+        }
+    )
+
+    def resolve_element_annotation(
+        self, info: ModuleInfo, annotation: Optional[ast.expr]
+    ) -> Optional[str]:
+        """Project class a ``for`` loop over this annotation would bind.
+
+        ``List[Cls]`` → ``Cls`` (ditto the other uniform containers),
+        through an ``Optional`` wrapper; ``Tuple[A, ...]`` takes the
+        first resolvable element.  Anything else is None — a plain
+        class annotation says nothing about its iteration elements.
+        """
+        if annotation is None:
+            return None
+        if isinstance(annotation, ast.Constant) and isinstance(
+            annotation.value, str
+        ):
+            try:
+                annotation = ast.parse(annotation.value, mode="eval").body
+            except SyntaxError:
+                return None
+        if not isinstance(annotation, ast.Subscript):
+            return None
+        head = _dotted_of(annotation.value)
+        tail = head.split(".")[-1] if head is not None else None
+        if tail == "Optional":
+            return self.resolve_element_annotation(info, annotation.slice)
+        if tail not in self._CONTAINER_HEADS:
+            return None
+        inner = annotation.slice
+        if isinstance(inner, ast.Tuple):
+            for elt in inner.elts:
+                resolved = self.resolve_annotation(info, elt)
+                if resolved is not None:
+                    return resolved
+            return None
+        return self.resolve_annotation(info, inner)
+
     def annotation_classes(
         self, info: ModuleInfo, annotation: Optional[ast.expr]
     ) -> List[str]:
@@ -487,6 +536,12 @@ class ProjectIndex:
                 return info.attr_types[name]
         return None
 
+    def lookup_attr_elem_type(self, cls: str, name: str) -> Optional[str]:
+        for info in self.mro(cls):
+            if name in info.attr_elem_types:
+                return info.attr_elem_types[name]
+        return None
+
     def _infer_attr_types(self, cls_info: ClassInfo) -> None:
         """Instance attribute types from class-body annotations and
         ``__init__`` assignments (run after every class is registered)."""
@@ -498,6 +553,9 @@ class ProjectIndex:
                 typed = self.resolve_annotation(info, stmt.annotation)
                 if typed is not None:
                     cls_info.attr_types[stmt.target.id] = typed
+                elem = self.resolve_element_annotation(info, stmt.annotation)
+                if elem is not None:
+                    cls_info.attr_elem_types[stmt.target.id] = elem
         init_qual = cls_info.methods.get("__init__")
         if init_qual is None:
             return
@@ -528,6 +586,9 @@ class ProjectIndex:
                 typed = self._value_type(info, value, param_types)
             if typed is not None and attr not in cls_info.attr_types:
                 cls_info.attr_types[attr] = typed
+            elem = self.resolve_element_annotation(info, annotation)
+            if elem is not None and attr not in cls_info.attr_elem_types:
+                cls_info.attr_elem_types[attr] = elem
 
     def _value_type(
         self,
@@ -664,7 +725,29 @@ class CallGraph:
                     typed = self._expr_type(func, node.context_expr, types)
                     if typed is not None:
                         types[node.optional_vars.id] = typed
+            elif isinstance(node, (ast.For, ast.AsyncFor)) and isinstance(
+                node.target, ast.Name
+            ):
+                typed = self._elem_type(func, node.iter, types)
+                if typed is not None:
+                    types[node.target.id] = typed
         return types
+
+    def _elem_type(
+        self, func: FunctionInfo, expr: ast.expr, local_types: Dict[str, str]
+    ) -> Optional[str]:
+        """Project class a ``for`` loop over ``expr`` binds, if pinned.
+
+        Covers the one shape the codebase uses: iterating an instance
+        attribute whose ``__init__``/class-body annotation names a
+        uniform container (``for tailer in self.tailers`` with
+        ``self.tailers: List[DirectoryTailer]``).
+        """
+        if isinstance(expr, ast.Attribute):
+            owner = self._expr_type(func, expr.value, local_types)
+            if owner is not None:
+                return self.index.lookup_attr_elem_type(owner, expr.attr)
+        return None
 
     def _expr_type(
         self, func: FunctionInfo, expr: ast.expr, local_types: Dict[str, str]

@@ -15,31 +15,61 @@ scheduling delay?" after a run finishes.  This package answers it
 * :mod:`repro.live.server` / :mod:`repro.live.client` — a JSON-lines
   query server (bounded per-connection write queues) and its blocking
   client;
-* :mod:`repro.live.cli` — ``python -m repro.live {watch,serve,query}``.
+* :mod:`repro.live.router` / :mod:`repro.live.sharded` — the sharded
+  deployment: worker processes each tailing a slice of the
+  directories, a merging router speaking the same wire protocol, and
+  an HTTP endpoint exposing aggregated Prometheus metrics;
+* :mod:`repro.live.cli` — ``python -m repro.live {watch,serve,query}``
+  (``serve --shards N`` runs the sharded deployment).
 
 The contract that makes the live answer trustworthy: once the
 directory stops growing, a drained session's report is byte-identical
 to a batch run over the same directory, for *any* schedule of chunk
-arrivals — pinned by the metamorphic replay suite.
+arrivals — pinned by the metamorphic replay suite.  The sharded
+extension: a drained deployment's merged report is byte-identical to
+batch over the union of all shards' directories, for any shard
+assignment.
 """
 
 from repro.live.client import LiveClient, QueryError
 from repro.live.incremental import LiveMiner, LiveSession
-from repro.live.metrics import MetricsRegistry, build_live_registry
-from repro.live.server import LiveServer, ServerHandle, serve_in_thread
+from repro.live.metrics import (
+    MetricsRegistry,
+    build_live_registry,
+    merge_metric_states,
+)
+from repro.live.router import (
+    RouterServer,
+    merge_state_payloads,
+    report_from_state_payload,
+)
+from repro.live.server import (
+    JsonLineServer,
+    LiveServer,
+    ServerHandle,
+    serve_in_thread,
+)
+from repro.live.sharded import ShardedLiveService, partition_directories
 from repro.live.tailer import DirectoryTailer, StreamTailer, TailChunk
 
 __all__ = [
     "DirectoryTailer",
+    "JsonLineServer",
     "LiveClient",
     "LiveMiner",
     "LiveServer",
     "LiveSession",
     "MetricsRegistry",
     "QueryError",
+    "RouterServer",
     "ServerHandle",
+    "ShardedLiveService",
     "StreamTailer",
     "TailChunk",
     "build_live_registry",
+    "merge_metric_states",
+    "merge_state_payloads",
+    "partition_directories",
+    "report_from_state_payload",
     "serve_in_thread",
 ]

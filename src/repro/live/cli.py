@@ -4,6 +4,10 @@
   progress as applications arrive, and emit the final (batch-identical)
   analysis once the directory goes quiet.
 * ``serve``  — same tailing, plus the JSON-lines query/metrics server.
+  With ``--shards N`` the directories are partitioned across N worker
+  processes behind a merging router (same wire protocol), and
+  ``--metrics-http-port`` adds a ``GET /metrics`` HTTP endpoint
+  exposing the aggregated Prometheus text.
 * ``query``  — one request against a running server, result to stdout.
 """
 
@@ -76,9 +80,16 @@ def build_arg_parser() -> argparse.ArgumentParser:
     )
 
     serve = sub.add_parser(
-        "serve", help="tail a directory and serve queries over JSON lines"
+        "serve", help="tail directories and serve queries over JSON lines"
     )
-    serve.add_argument("logdir", help="directory of growing <daemon>.log files")
+    serve.add_argument(
+        "logdir",
+        nargs="+",
+        help=(
+            "one or more directories of growing <daemon>.log files "
+            "(daemon names must be disjoint across directories)"
+        ),
+    )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=7461)
     serve.add_argument(
@@ -86,11 +97,48 @@ def build_arg_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--checkpoint", metavar="PATH")
     serve.add_argument("--resume", metavar="PATH")
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "partition the directories across N worker processes behind "
+            "a merging router (default 1: a single in-process server)"
+        ),
+    )
+    serve.add_argument(
+        "--metrics-http-port",
+        type=int,
+        metavar="PORT",
+        help=(
+            "also serve GET /metrics over HTTP with the deployment's "
+            "aggregated Prometheus metrics (sharded mode only)"
+        ),
+    )
+    serve.add_argument(
+        "--evict-after-polls",
+        type=int,
+        metavar="N",
+        help=(
+            "evict an application N polls after it finishes, keeping "
+            "resident state bounded (default: keep everything)"
+        ),
+    )
 
     query = sub.add_parser("query", help="one request against a running server")
     query.add_argument(
         "op",
-        choices=("apps", "decomposition", "diagnostics", "metrics", "shutdown"),
+        choices=(
+            "apps",
+            "decomposition",
+            "diagnostics",
+            "metrics",
+            "metrics_state",
+            "state",
+            "drain",
+            "shutdown",
+        ),
     )
     query.add_argument(
         "app_id", nargs="?", help="application ID (decomposition only)"
@@ -102,13 +150,17 @@ def build_arg_parser() -> argparse.ArgumentParser:
 
 
 def _build_session(args: argparse.Namespace) -> LiveSession:
+    evict = getattr(args, "evict_after_polls", None)
     if args.resume:
         return LiveSession.from_checkpoint(
             args.resume,
             directory=args.logdir,
             checkpoint_path=args.checkpoint or args.resume,
+            evict_after_polls=evict,
         )
-    return LiveSession(args.logdir, checkpoint_path=args.checkpoint)
+    return LiveSession(
+        args.logdir, checkpoint_path=args.checkpoint, evict_after_polls=evict
+    )
 
 
 def _run_watch(args: argparse.Namespace) -> int:
@@ -127,10 +179,10 @@ def _run_watch(args: argparse.Namespace) -> int:
             print(
                 f"poll {polls}: +{new_events} events, "
                 f"{len(report.apps)} apps ({final} final), "
-                f"lag {session.tailer.tail_lag_bytes}B",
+                f"lag {session.tail_lag_bytes}B",
                 file=sys.stderr,
             )
-        elif session.tailer.tail_lag_bytes == 0:
+        elif session.tail_lag_bytes == 0:
             idle += 1
         if idle >= args.idle_polls:
             break
@@ -147,6 +199,11 @@ def _run_watch(args: argparse.Namespace) -> int:
 
 
 def _run_serve(args: argparse.Namespace) -> int:
+    if args.shards < 1:
+        print("error: --shards must be >= 1", file=sys.stderr)
+        return 2
+    if args.shards > 1 or args.metrics_http_port is not None:
+        return _run_serve_sharded(args)
     session = _build_session(args)
 
     async def _serve() -> None:
@@ -158,7 +215,7 @@ def _run_serve(args: argparse.Namespace) -> int:
         )
         await server.start()
         print(
-            f"repro.live serving {args.logdir} on "
+            f"repro.live serving {', '.join(args.logdir)} on "
             f"{args.host}:{server.bound_port}",
             file=sys.stderr,
         )
@@ -166,6 +223,46 @@ def _run_serve(args: argparse.Namespace) -> int:
 
     try:
         asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _run_serve_sharded(args: argparse.Namespace) -> int:
+    from repro.live.sharded import ShardedLiveService
+
+    if args.checkpoint or args.resume:
+        print(
+            "error: --checkpoint/--resume are not supported in sharded "
+            "mode yet",
+            file=sys.stderr,
+        )
+        return 2
+    service = ShardedLiveService(
+        args.logdir,
+        shards=args.shards,
+        host=args.host,
+        router_port=args.port,
+        http_port=args.metrics_http_port,
+        poll_interval=args.poll_interval,
+        evict_after_polls=args.evict_after_polls,
+    )
+    try:
+        with service:
+            host, port = service.router_address
+            print(
+                f"repro.live serving {', '.join(args.logdir)} on "
+                f"{host}:{port} across {len(service.partitions)} shard(s)",
+                file=sys.stderr,
+            )
+            if service.http_address is not None:
+                http_host, http_port = service.http_address
+                print(
+                    f"aggregated metrics at "
+                    f"http://{http_host}:{http_port}/metrics",
+                    file=sys.stderr,
+                )
+            service.wait()
     except KeyboardInterrupt:
         pass
     return 0
@@ -186,6 +283,9 @@ def _run_query(args: argparse.Namespace) -> int:
                 call = {
                     "apps": client.apps,
                     "diagnostics": client.diagnostics,
+                    "metrics_state": client.metrics_state,
+                    "state": client.state,
+                    "drain": client.drain,
                     "shutdown": client.shutdown,
                 }[args.op]
                 json.dump(call(), sys.stdout, indent=2)

@@ -61,6 +61,18 @@ class LiveClient:
         """The registry in Prometheus text exposition format."""
         return self._result("metrics")
 
+    def metrics_state(self) -> dict:
+        """The registry's mergeable state (cross-shard aggregation)."""
+        return self._result("metrics_state")
+
+    def state(self) -> dict:
+        """The session's full miner state (what a router unions)."""
+        return self._result("state")
+
+    def drain(self) -> dict:
+        """Flush held-back tails; the drained state payload."""
+        return self._result("drain")
+
     def shutdown(self) -> str:
         """Ask the server to stop (after answering)."""
         return self._result("shutdown")

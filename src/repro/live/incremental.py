@@ -12,10 +12,22 @@ replay-equivalence contract the hypothesis suite pins.
 
 :class:`LiveSession` adds the serving-side bookkeeping on top:
 
+* one session can tail **several directories** (the unit a sharded
+  deployment partitions by): one :class:`~repro.live.tailer.DirectoryTailer`
+  per directory feeding a single miner, with daemon names required to
+  be disjoint across directories — the same precondition under which
+  "batch over the union" is even well defined;
 * per-application status — **provisional** while events are still
   arriving, upgraded to **final** exactly when the paper's terminal
   transition (``APP_FINISHED``, message "State change from RUNNING to
   FINISHED") is mined for the app;
+* optional **eviction** (``evict_after_polls=N``): an application that
+  has been final for N polls is dropped — its container streams stop
+  being tailed (and their accumulators are freed), its events are
+  pruned from the shared daemon streams — so resident state stays
+  bounded over days of tailing a rolling workload.  Eviction is off by
+  default because it deliberately forgets: the batch-identity contract
+  only covers sessions that never evicted;
 * a canonical :class:`~repro.core.report.AnalysisReport` rebuilt on
   demand through :func:`repro.core.checker.analyze_events` (the same
   tail the batch :class:`~repro.core.checker.SDChecker` runs), cached
@@ -32,7 +44,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.core import messages as msg
 from repro.core.checker import analyze_events
@@ -102,6 +114,30 @@ class LiveMiner:
                 touched.add(app_id)
         return accepted, scan[1], touched
 
+    def evict_app(self, app_id: str) -> List[str]:
+        """Forget one application's mined state.
+
+        Container streams owned by the app are dropped whole (their
+        accumulators are the bulk of the resident footprint), and the
+        app's event tuples are pruned from the shared daemon streams
+        (RM, NMs) whose logs keep growing with other tenants' traffic.
+        Returns the daemons dropped entirely, so the tailer can stop
+        following their files too.
+        """
+        dropped = [
+            daemon
+            for daemon in self.streams
+            if msg.app_id_of_container(daemon) == app_id
+        ]
+        for daemon in dropped:
+            del self.streams[daemon]
+        for acc in self.streams.values():
+            if acc.compact:
+                acc.compact = [
+                    event for event in acc.compact if event[2] != app_id
+                ]
+        return dropped
+
     # -- canonical views ---------------------------------------------------
     def events(self) -> list:
         """All mined events in batch order (sorted daemon, stream order)."""
@@ -144,40 +180,121 @@ class LiveMiner:
 
 
 class LiveSession:
-    """One live mining-and-serving session over a growing directory."""
+    """One live mining-and-serving session over growing log directories."""
 
     def __init__(
         self,
-        directory: str | Path,
+        directory: Union[str, Path, Sequence[Union[str, Path]]],
         checkpoint_path: Optional[str | Path] = None,
         registry: Optional[MetricsRegistry] = None,
+        evict_after_polls: Optional[int] = None,
     ):
-        self.directory = Path(directory)
+        if isinstance(directory, (str, Path)):
+            directories: List[Path] = [Path(directory)]
+        else:
+            directories = [Path(entry) for entry in directory]
+        if not directories:
+            raise ValueError("LiveSession needs at least one directory")
+        self.directories = directories
         self.checkpoint_path = (
             Path(checkpoint_path) if checkpoint_path is not None else None
         )
-        self.tailer = DirectoryTailer(self.directory)
+        self.tailers: List[DirectoryTailer] = [
+            DirectoryTailer(path) for path in self.directories
+        ]
         self.miner = LiveMiner()
         self.metrics = registry if registry is not None else build_live_registry()
+        if evict_after_polls is not None and evict_after_polls < 1:
+            raise ValueError("evict_after_polls must be a positive poll count")
+        #: Polls an app may stay resident after finality; None disables
+        #: eviction (the default — eviction trades the batch-identity
+        #: contract for bounded memory).
+        self.evict_after_polls = evict_after_polls
         #: Apps whose terminal transition has been mined.
         self._final_apps: Set[str] = set()
+        #: app -> poll counter value at which it became final.
+        self._final_at: Dict[str, int] = {}
+        #: Apps evicted by the TTL policy (never resurrected).
+        self._evicted_apps: Set[str] = set()
+        self._poll_count = 0
         #: Bumped whenever mining state changes; keys the report cache.
         self.revision = 0
         self._report_cache: Optional[Tuple[int, AnalysisReport]] = None
         self.drained = False
 
+    # -- directory plumbing ------------------------------------------------
+    @property
+    def directory(self) -> Path:
+        """The first (for most sessions, only) tailed directory."""
+        return self.directories[0]
+
+    @property
+    def tailer(self) -> DirectoryTailer:
+        """The sole tailer of a single-directory session."""
+        if len(self.tailers) != 1:
+            raise AttributeError(
+                "session tails multiple directories; use .tailers"
+            )
+        return self.tailers[0]
+
+    @property
+    def tail_lag_bytes(self) -> int:
+        return sum(t.tail_lag_bytes for t in self.tailers)
+
+    @property
+    def resyncs(self) -> int:
+        return sum(t.resyncs for t in self.tailers)
+
+    @property
+    def rotations(self) -> int:
+        return sum(t.rotations for t in self.tailers)
+
+    @property
+    def evicted_apps(self) -> List[str]:
+        return sorted(self._evicted_apps)
+
+    def _collect(self, chunk_lists: List[List[TailChunk]]) -> List[TailChunk]:
+        """Concatenate per-directory chunks, rejecting daemon collisions.
+
+        Two directories contributing the same daemon name would
+        interleave two different byte streams through one accumulator —
+        and make "batch over the union" ill-defined — so it is a loud
+        error, not a silent merge.
+        """
+        owner: Dict[str, Path] = {}
+        merged: List[TailChunk] = []
+        for tailer, chunks in zip(self.tailers, chunk_lists):
+            for chunk in chunks:
+                held = owner.get(chunk.daemon)
+                if held is not None:
+                    raise ValueError(
+                        f"daemon {chunk.daemon!r} appears in both {held} "
+                        f"and {tailer.directory}; tailed directories must "
+                        "have disjoint stream names"
+                    )
+                owner[chunk.daemon] = tailer.directory
+                merged.append(chunk)
+        return merged
+
     # -- ingest ------------------------------------------------------------
     def poll(self) -> int:
-        """Tail once and mine what arrived; the number of new events."""
-        return self._ingest(self.tailer.poll())
+        """Tail every directory once and mine what arrived; new events."""
+        chunk_lists: List[List[TailChunk]] = []
+        for tailer in self.tailers:
+            chunk_lists.append(tailer.poll())
+        return self._ingest(self._collect(chunk_lists))
 
     def drain(self) -> AnalysisReport:
         """Flush held-back tails and return the canonical final report.
 
-        After the directory has stopped growing, this report is
-        byte-identical to ``SDChecker().analyze(directory)``.
+        After the directories have stopped growing, this report is
+        byte-identical to batch ``SDChecker`` over the union of their
+        files — provided the session never evicted.
         """
-        self._ingest(self.tailer.drain())
+        chunk_lists: List[List[TailChunk]] = []
+        for tailer in self.tailers:
+            chunk_lists.append(tailer.drain())
+        self._ingest(self._collect(chunk_lists))
         self.drained = True
         self._checkpoint()
         return self.report()
@@ -212,12 +329,12 @@ class LiveSession:
                     touched_apps.add(event[2])
         if changed:
             self.revision += 1
+        self._poll_count += 1
         self.metrics.counter("repro_live_polls_total").inc()
-        self.metrics.gauge("repro_live_tail_lag_bytes").set(
-            self.tailer.tail_lag_bytes
-        )
+        self.metrics.gauge("repro_live_tail_lag_bytes").set(self.tail_lag_bytes)
         self.metrics.gauge("repro_live_streams").set(len(self.miner.streams))
         self._upgrade_finished_apps(touched_apps)
+        self._evict_expired()
         self._checkpoint()
         return new_events
 
@@ -233,10 +350,43 @@ class LiveSession:
                     and event[2] not in self._final_apps
                 ):
                     self._final_apps.add(event[2])
+                    self._final_at[event[2]] = self._poll_count
                     newly_final.append(event[2])
-        self.metrics.gauge("repro_live_apps_final").set(len(self._final_apps))
+        self.metrics.gauge("repro_live_apps_final").set(
+            len(self._final_apps - self._evicted_apps)
+        )
         if newly_final:
             self._observe_final_components(sorted(newly_final))
+
+    def _evict_expired(self) -> None:
+        """TTL policy: drop apps final for ``evict_after_polls`` polls.
+
+        Keeps resident state bounded under a rolling stream of finished
+        applications: each evicted app releases its container-stream
+        accumulators and tail cursors, and its events leave the shared
+        daemon streams.  The evicted set itself (one string per app) is
+        the only thing that still grows.
+        """
+        if self.evict_after_polls is None:
+            return
+        expired = sorted(
+            app_id
+            for app_id, final_poll in self._final_at.items()
+            if app_id not in self._evicted_apps
+            and self._poll_count - final_poll >= self.evict_after_polls
+        )
+        if not expired:
+            return
+        for app_id in expired:
+            dropped = self.miner.evict_app(app_id)
+            for tailer in self.tailers:
+                for daemon in dropped:
+                    tailer.evict_stream(daemon)
+            self._evicted_apps.add(app_id)
+            self._final_at.pop(app_id, None)
+        self.revision += 1
+        self.metrics.counter("repro_live_apps_evicted_total").inc(len(expired))
+        self.metrics.gauge("repro_live_streams").set(len(self.miner.streams))
 
     def _observe_final_components(self, app_ids: List[str]) -> None:
         """Feed a newly final app's delay components into the histograms.
@@ -269,7 +419,12 @@ class LiveSession:
         cached = self._report_cache
         if cached is not None and cached[0] == self.revision:
             return cached[1]
-        report = analyze_events(self.miner.events(), self.miner.diagnostics())
+        events = self.miner.events()
+        if self._evicted_apps:
+            # Stragglers mined for an already-evicted app (late lines in
+            # a shared daemon log) must not resurrect it half-analyzed.
+            events = [e for e in events if e.app_id not in self._evicted_apps]
+        report = analyze_events(events, self.miner.diagnostics())
         self._report_cache = (self.revision, report)
         self.metrics.gauge("repro_live_apps").set(len(report.apps))
         return report
@@ -302,11 +457,32 @@ class LiveSession:
     def diagnostics_payload(self) -> dict:
         report = self.report()
         payload = report.diagnostics.to_dict()
-        payload["tail_lag_bytes"] = self.tailer.tail_lag_bytes
-        payload["resyncs"] = self.tailer.resyncs
-        payload["rotations"] = self.tailer.rotations
+        payload["tail_lag_bytes"] = self.tail_lag_bytes
+        payload["resyncs"] = self.resyncs
+        payload["rotations"] = self.rotations
         payload["drained"] = self.drained
+        if self._evicted_apps:
+            payload["evicted_apps"] = self.evicted_apps
         return payload
+
+    def state_payload(self) -> dict:
+        """The ``state`` op: everything a merging front end needs.
+
+        The miner state is the same JSON the checkpoint persists; a
+        router unions these across shards (daemon names are disjoint by
+        the multi-directory precondition), rebuilds one
+        :class:`LiveMiner`, and runs the same analysis tail — which is
+        why the merged report is byte-identical to batch.
+        """
+        return {
+            "miner": self.miner.to_state(),
+            "final_apps": sorted(self._final_apps),
+            "evicted_apps": self.evicted_apps,
+            "tail_lag_bytes": self.tail_lag_bytes,
+            "resyncs": self.resyncs,
+            "rotations": self.rotations,
+            "drained": self.drained,
+        }
 
     # -- checkpoint / resume -----------------------------------------------
     def _checkpoint(self) -> None:
@@ -318,13 +494,21 @@ class LiveSession:
         path = Path(path)
         state = {
             "version": CHECKPOINT_VERSION,
+            # "directory"/"tailer" (singular) kept for pre-multi-dir
+            # readers of single-directory checkpoints.
             "directory": str(self.directory),
+            "directories": [str(p) for p in self.directories],
             "revision": self.revision,
             "drained": self.drained,
-            "tailer": self.tailer.to_state(),
+            "tailers": [t.to_state() for t in self.tailers],
             "miner": self.miner.to_state(),
             "final_apps": sorted(self._final_apps),
+            "final_at": dict(sorted(self._final_at.items())),
+            "evicted_apps": sorted(self._evicted_apps),
+            "poll_count": self._poll_count,
         }
+        if len(self.tailers) == 1:
+            state["tailer"] = state["tailers"][0]
         tmp = path.with_suffix(path.suffix + ".tmp")
         tmp.write_text(json.dumps(state), encoding="utf-8")
         tmp.replace(path)
@@ -334,31 +518,54 @@ class LiveSession:
     def from_checkpoint(
         cls,
         path: str | Path,
-        directory: Optional[str | Path] = None,
+        directory: Optional[Union[str, Path, Sequence[Union[str, Path]]]] = None,
         registry: Optional[MetricsRegistry] = None,
         checkpoint_path: Optional[str | Path] = None,
+        evict_after_polls: Optional[int] = None,
     ) -> "LiveSession":
         """Rebuild a session from a checkpoint file and keep tailing.
 
-        Ingest counters are re-primed from the restored accumulators;
-        purely operational series (polls, tail lag histograms) restart
-        from zero — the analysis state is what the contract covers.
+        Ingest counters are re-primed from the restored accumulators and
+        the tail-lag gauge from the restored cursors (the backlog is
+        still there after a restart; reading 0 until the next poll was a
+        lie); cadence series (polls, latency histograms) restart from
+        zero — the analysis state is what the contract covers.
         """
         state = json.loads(Path(path).read_text(encoding="utf-8"))
         if state.get("version") != CHECKPOINT_VERSION:
             raise ValueError(
                 f"unsupported checkpoint version {state.get('version')!r}"
             )
+        if directory is not None:
+            target = directory
+        else:
+            target = state.get("directories", state["directory"])
         session = cls(
-            directory if directory is not None else state["directory"],
+            target,
             checkpoint_path=checkpoint_path,
             registry=registry,
+            evict_after_polls=evict_after_polls,
         )
-        session.tailer = DirectoryTailer.from_state(
-            state["tailer"], directory=session.directory
-        )
+        tailer_states = state.get("tailers")
+        if tailer_states is None:
+            tailer_states = [state["tailer"]]
+        if len(tailer_states) != len(session.directories):
+            raise ValueError(
+                f"checkpoint holds {len(tailer_states)} tailer(s) but "
+                f"{len(session.directories)} directories were given"
+            )
+        session.tailers = [
+            DirectoryTailer.from_state(tailer_state, directory=path_)
+            for tailer_state, path_ in zip(tailer_states, session.directories)
+        ]
         session.miner = LiveMiner.from_state(state["miner"])
         session._final_apps = set(state["final_apps"])
+        session._final_at = {
+            app_id: int(poll)
+            for app_id, poll in state.get("final_at", {}).items()
+        }
+        session._evicted_apps = set(state.get("evicted_apps", ()))
+        session._poll_count = int(state.get("poll_count", 0))
         session.revision = state["revision"]
         session.drained = state["drained"]
         lines, records, dropped, events = session.miner.counter_totals()
@@ -366,7 +573,10 @@ class LiveSession:
         session.metrics.counter("repro_live_ingest_records_total").inc(records)
         session.metrics.counter("repro_live_dropped_lines_total").inc(dropped)
         session.metrics.counter("repro_live_events_total").inc(events)
+        session.metrics.gauge("repro_live_tail_lag_bytes").set(
+            session.tail_lag_bytes
+        )
         session.metrics.gauge("repro_live_apps_final").set(
-            len(session._final_apps)
+            len(session._final_apps - session._evicted_apps)
         )
         return session

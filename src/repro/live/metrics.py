@@ -11,11 +11,20 @@ order is sorted (by metric name, then label value), there are no
 timestamps, and rates are left to the scraper (``rate()`` over the
 ``*_total`` counters), so the registry itself never reads a clock.
 The determinism lint (SD302) holds for this module like any other.
+
+**Cross-shard aggregation** (:meth:`MetricsRegistry.to_state` /
+:func:`merge_metric_states`): every shard of a sharded deployment owns
+a registry of the same families; the front end fetches each shard's
+plain-data snapshot over the wire, folds them sample-wise — counters
+and gauges sum, histogram buckets add per bound — and renders one
+fleet-wide exposition.  Merging is commutative and deterministic, so
+the aggregated text is independent of shard arrival order.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+import json
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 __all__ = [
     "Counter",
@@ -24,6 +33,7 @@ __all__ = [
     "MetricsRegistry",
     "DELAY_BUCKETS",
     "build_live_registry",
+    "merge_metric_states",
 ]
 
 #: Default histogram bounds for scheduling-delay seconds: dense below
@@ -80,6 +90,12 @@ class Counter:
             f"{self.name} {_format_value(self.value)}",
         ]
 
+    def to_state(self) -> dict:
+        return {"kind": "counter", "help": self.help_text, "value": self.value}
+
+    def absorb_state(self, state: dict) -> None:
+        self.value += state["value"]
+
 
 class Gauge:
     """A value that goes up and down."""
@@ -104,6 +120,15 @@ class Gauge:
             f"# TYPE {self.name} gauge",
             f"{self.name} {_format_value(self.value)}",
         ]
+
+    def to_state(self) -> dict:
+        return {"kind": "gauge", "help": self.help_text, "value": self.value}
+
+    def absorb_state(self, state: dict) -> None:
+        # Gauges aggregate by sum across shards: every live gauge is a
+        # per-shard quantity (tail lag bytes, streams, resident apps)
+        # whose fleet-wide reading is the total.
+        self.value += state["value"]
 
 
 class _HistogramChild:
@@ -188,6 +213,38 @@ class Histogram:
             lines.append(f"{self.name}_count{_format_labels(key)} {child.count}")
         return lines
 
+    def to_state(self) -> dict:
+        return {
+            "kind": "histogram",
+            "help": self.help_text,
+            "bounds": list(self.bounds),
+            "label_names": list(self.label_names),
+            "children": {
+                json.dumps(list(map(list, key))): {
+                    "buckets": list(child.bucket_counts),
+                    "total": child.total,
+                    "count": child.count,
+                }
+                for key, child in self._children.items()
+            },
+        }
+
+    def absorb_state(self, state: dict) -> None:
+        if list(self.bounds) != state["bounds"]:
+            raise ValueError(
+                f"histogram {self.name}: cannot merge mismatched buckets "
+                f"{state['bounds']} into {list(self.bounds)}"
+            )
+        for raw_key, child_state in state["children"].items():
+            key = tuple(tuple(pair) for pair in json.loads(raw_key))
+            child = self._children.get(key)
+            if child is None:
+                child = self._children[key] = _HistogramChild(len(self.bounds))
+            for i, count in enumerate(child_state["buckets"]):
+                child.bucket_counts[i] += count
+            child.total += child_state["total"]
+            child.count += child_state["count"]
+
 
 class _BoundHistogram:
     """A histogram child bound to concrete label values."""
@@ -255,6 +312,53 @@ class MetricsRegistry:
             lines.extend(self._metrics[name].render())
         return "\n".join(lines) + "\n"
 
+    # -- cross-shard aggregation -----------------------------------------
+    def to_state(self) -> dict:
+        """JSON-serializable snapshot of every metric, for aggregation."""
+        return {
+            name: self._metrics[name].to_state()
+            for name in sorted(self._metrics)
+        }
+
+    def absorb_state(self, state: dict) -> None:
+        """Fold one registry snapshot in: counters/gauges sum, histogram
+        buckets add per bound.  Unknown families are created on the fly
+        (a shard may expose a family this registry has not seen), and a
+        kind mismatch raises rather than silently misrendering."""
+        kinds = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+        for name in sorted(state):
+            metric_state = state[name]
+            held = self._metrics.get(name)
+            if held is None:
+                kind = kinds[metric_state["kind"]]
+                if kind is Histogram:
+                    held = self._register(
+                        Histogram(
+                            name,
+                            metric_state["help"],
+                            buckets=metric_state["bounds"],
+                            label_names=tuple(metric_state["label_names"]),
+                        )
+                    )
+                else:
+                    held = self._register(kind(name, metric_state["help"]))
+            elif not isinstance(held, kinds[metric_state["kind"]]):
+                raise TypeError(
+                    f"metric {name!r} is {type(held).__name__}, shard "
+                    f"snapshot says {metric_state['kind']}"
+                )
+            held.absorb_state(metric_state)
+
+
+def merge_metric_states(states: Iterable[dict]) -> MetricsRegistry:
+    """One aggregated registry from per-shard :meth:`~MetricsRegistry.to_state`
+    snapshots.  Addition is commutative, so the render is independent of
+    the order the shards answered in."""
+    merged = MetricsRegistry()
+    for state in states:
+        merged.absorb_state(state)
+    return merged
+
 
 def build_live_registry() -> MetricsRegistry:
     """The live subsystem's metric families, pre-registered."""
@@ -276,11 +380,19 @@ def build_live_registry() -> MetricsRegistry:
     )
     registry.counter("repro_live_polls_total", "Tailer poll passes completed")
     registry.counter(
-        "repro_live_queries_total", "Query requests served over the wire"
+        "repro_live_queries_total", "Query requests received over the wire"
+    )
+    registry.counter(
+        "repro_live_malformed_requests_total",
+        "Received request lines that were not a JSON object",
     )
     registry.counter(
         "repro_live_slow_consumer_disconnects_total",
         "Connections dropped because their write queue overflowed",
+    )
+    registry.counter(
+        "repro_live_apps_evicted_total",
+        "Finished applications evicted by the session TTL policy",
     )
     registry.gauge(
         "repro_live_tail_lag_bytes",

@@ -9,8 +9,17 @@ the echoed ``op``, and either ``result`` or ``error``::
 
 Operations: ``apps`` (status rows), ``decomposition`` (one app's full
 breakdown, requires ``app_id``), ``diagnostics`` (mining ledger plus
-tailer counters), ``metrics`` (Prometheus text exposition), and
-``shutdown`` (stop the server after responding).
+tailer counters), ``metrics`` (Prometheus text exposition),
+``metrics_state`` (the registry's mergeable state, for cross-shard
+aggregation), ``state`` (the session's full miner state — what a
+sharded front end unions), ``drain`` (flush held-back tails, then
+return the drained state), and ``shutdown`` (stop the server after
+responding).
+
+The connection plumbing lives in :class:`JsonLineServer` so the
+sharded router (:mod:`repro.live.router`) serves the identical wire
+protocol without re-implementing framing or backpressure; subclasses
+provide a ``metrics`` registry and an async ``_dispatch``.
 
 **Backpressure**: responses are never written directly from the read
 loop.  Each connection owns a bounded :class:`asyncio.Queue` drained by
@@ -18,6 +27,12 @@ a dedicated writer task; when a consumer reads slower than it queries
 and the queue fills, the connection is *dropped* (and counted in
 ``repro_live_slow_consumer_disconnects_total``) rather than letting one
 slow client grow unbounded buffers or stall the poll loop.
+
+**Counting**: every received request line increments
+``repro_live_queries_total`` — including ones that fail to parse, which
+additionally increment ``repro_live_malformed_requests_total``.  A
+flood of garbage is exactly the situation where an invisible-to-metrics
+request stream is most misleading.
 
 All session access happens on the event-loop thread — the poll loop,
 the dispatchers, and the metrics reads are serialized by construction,
@@ -33,8 +48,9 @@ import threading
 from typing import Optional
 
 from repro.live.incremental import LiveSession
+from repro.live.metrics import MetricsRegistry
 
-__all__ = ["LiveServer", "ServerHandle", "serve_in_thread"]
+__all__ = ["JsonLineServer", "LiveServer", "ServerHandle", "serve_in_thread"]
 
 #: Responses a connection may have in flight before it is considered a
 #: slow consumer and disconnected.
@@ -46,32 +62,33 @@ DEFAULT_QUEUE_DEPTH = 64
 DRAIN_TIMEOUT = 5.0
 
 
-class LiveServer:
-    """Serves one :class:`LiveSession` over JSON lines, polling as it goes."""
+class JsonLineServer:
+    """Framing, backpressure, and lifecycle for a JSON-lines endpoint.
+
+    Subclasses must provide a ``metrics`` :class:`MetricsRegistry`
+    (attribute or property) and implement :meth:`_dispatch`; they may
+    hook :meth:`_on_start` / :meth:`_on_close` for background tasks.
+    """
 
     def __init__(
         self,
-        session: LiveSession,
         host: str = "127.0.0.1",
         port: int = 0,
-        poll_interval: float = 0.25,
         queue_depth: int = DEFAULT_QUEUE_DEPTH,
-        poll: bool = True,
     ):
-        self.session = session
         self.host = host
         self.port = port
-        self.poll_interval = poll_interval
         self.queue_depth = queue_depth
-        self._poll_enabled = poll
         self._server: Optional[asyncio.AbstractServer] = None
-        self._poll_task: Optional[asyncio.Task] = None
         self._shutdown: Optional[asyncio.Event] = None
         #: The actually bound port (useful with ``port=0``).
         self.bound_port: Optional[int] = None
 
+    #: Subclasses override (LiveServer exposes the session's registry).
+    metrics: MetricsRegistry
+
     # -- lifecycle ---------------------------------------------------------
-    async def start(self) -> "LiveServer":
+    async def start(self) -> "JsonLineServer":
         from repro.analysis import sanitizer
 
         if sanitizer.enabled():
@@ -81,9 +98,14 @@ class LiveServer:
             self._handle_connection, self.host, self.port
         )
         self.bound_port = self._server.sockets[0].getsockname()[1]
-        if self._poll_enabled:
-            self._poll_task = asyncio.create_task(self._poll_loop())
+        await self._on_start()
         return self
+
+    async def _on_start(self) -> None:
+        """Post-bind hook: start background tasks here."""
+
+    async def _on_close(self) -> None:
+        """Pre-close hook: cancel background tasks here."""
 
     async def serve_until_shutdown(self) -> None:
         """Block until a ``shutdown`` op (or :meth:`request_shutdown`)."""
@@ -96,23 +118,10 @@ class LiveServer:
             self._shutdown.set()
 
     async def _close(self) -> None:
-        if self._poll_task is not None:
-            self._poll_task.cancel()
-            with contextlib.suppress(asyncio.CancelledError):
-                await self._poll_task
+        await self._on_close()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
-
-    async def _poll_loop(self) -> None:
-        while not self._shutdown.is_set():
-            self.session.poll()
-            try:
-                await asyncio.wait_for(
-                    self._shutdown.wait(), timeout=self.poll_interval
-                )
-            except asyncio.TimeoutError:
-                continue
 
     # -- connections -------------------------------------------------------
     async def _handle_connection(
@@ -126,13 +135,13 @@ class LiveServer:
                 line = await reader.readline()
                 if not line:
                     break
-                response = self._dispatch(line)
+                response = await self._dispatch_line(line)
                 try:
                     queue.put_nowait(response)
                 except asyncio.QueueFull:
                     # Slow consumer: drop the connection rather than
                     # buffer without bound.
-                    self.session.metrics.counter(
+                    self.metrics.counter(
                         "repro_live_slow_consumer_disconnects_total"
                     ).inc()
                     dropped = True
@@ -148,14 +157,17 @@ class LiveServer:
         except (ConnectionResetError, asyncio.IncompleteReadError):
             pass
         finally:
+            # CancelledError included: at loop teardown the handler task
+            # is cancelled mid-cleanup, and an escaping cancellation here
+            # shows up as spurious "exception was never retrieved" noise.
             if not dropped:
-                with contextlib.suppress(Exception):
+                with contextlib.suppress(Exception, asyncio.CancelledError):
                     await asyncio.wait_for(queue.join(), timeout=DRAIN_TIMEOUT)
             writer_task.cancel()
             with contextlib.suppress(asyncio.CancelledError):
                 await writer_task
             writer.close()
-            with contextlib.suppress(Exception):
+            with contextlib.suppress(Exception, asyncio.CancelledError):
                 await writer.wait_closed()
 
     async def _write_loop(
@@ -172,23 +184,78 @@ class LiveServer:
                 queue.task_done()
 
     # -- dispatch ----------------------------------------------------------
-    def _dispatch(self, raw: bytes) -> dict:
+    async def _dispatch_line(self, raw: bytes) -> dict:
+        # Counted before parsing: the counter answers "how many request
+        # lines arrived", not "how many parsed".
+        self.metrics.counter("repro_live_queries_total").inc()
         try:
             request = json.loads(raw.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError):
+            self.metrics.counter("repro_live_malformed_requests_total").inc()
             return {
                 "ok": False,
                 "op": None,
                 "error": "malformed request: expected one JSON object per line",
             }
         if not isinstance(request, dict):
+            self.metrics.counter("repro_live_malformed_requests_total").inc()
             return {
                 "ok": False,
                 "op": None,
                 "error": "malformed request: expected a JSON object",
             }
+        return await self._dispatch(request)
+
+    async def _dispatch(self, request: dict) -> dict:
+        raise NotImplementedError
+
+
+class LiveServer(JsonLineServer):
+    """Serves one :class:`LiveSession` over JSON lines, polling as it goes."""
+
+    def __init__(
+        self,
+        session: LiveSession,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        poll_interval: float = 0.25,
+        queue_depth: int = DEFAULT_QUEUE_DEPTH,
+        poll: bool = True,
+    ):
+        super().__init__(host=host, port=port, queue_depth=queue_depth)
+        self.session = session
+        self.poll_interval = poll_interval
+        self._poll_enabled = poll
+        self._poll_task: Optional[asyncio.Task] = None
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        return self.session.metrics
+
+    # -- lifecycle ---------------------------------------------------------
+    async def _on_start(self) -> None:
+        if self._poll_enabled:
+            self._poll_task = asyncio.create_task(self._poll_loop())
+
+    async def _on_close(self) -> None:
+        if self._poll_task is not None:
+            self._poll_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._poll_task
+
+    async def _poll_loop(self) -> None:
+        while not self._shutdown.is_set():
+            self.session.poll()
+            try:
+                await asyncio.wait_for(
+                    self._shutdown.wait(), timeout=self.poll_interval
+                )
+            except asyncio.TimeoutError:
+                continue
+
+    # -- dispatch ----------------------------------------------------------
+    async def _dispatch(self, request: dict) -> dict:
         op = request.get("op")
-        self.session.metrics.counter("repro_live_queries_total").inc()
         if op == "apps":
             return {"ok": True, "op": op, "result": self.session.apps_payload()}
         if op == "decomposition":
@@ -215,6 +282,17 @@ class LiveServer:
             }
         if op == "metrics":
             return {"ok": True, "op": op, "result": self.session.metrics.render()}
+        if op == "metrics_state":
+            return {
+                "ok": True,
+                "op": op,
+                "result": self.session.metrics.to_state(),
+            }
+        if op == "state":
+            return {"ok": True, "op": op, "result": self.session.state_payload()}
+        if op == "drain":
+            self.session.drain()
+            return {"ok": True, "op": op, "result": self.session.state_payload()}
         if op == "shutdown":
             return {"ok": True, "op": op, "result": "shutting down"}
         return {
@@ -222,7 +300,8 @@ class LiveServer:
             "op": op,
             "error": (
                 f"unknown op {op!r} (expected apps, decomposition, "
-                "diagnostics, metrics, shutdown)"
+                "diagnostics, metrics, metrics_state, state, drain, "
+                "shutdown)"
             ),
         }
 
@@ -230,7 +309,7 @@ class LiveServer:
 class ServerHandle:
     """A server running on a background thread; address plus ``stop()``."""
 
-    def __init__(self, server: LiveServer, loop: asyncio.AbstractEventLoop,
+    def __init__(self, server: JsonLineServer, loop: asyncio.AbstractEventLoop,
                  thread: threading.Thread):
         self._server = server
         self._loop = loop
@@ -271,7 +350,9 @@ def serve_in_thread(
 
     The embedding entry point (tests, benchmarks, notebooks): the
     caller keeps its thread, the session lives entirely on the server's
-    event loop.
+    event loop.  A startup failure (say, the port is already bound)
+    re-raises the *original* exception here instead of a generic
+    timeout 30 seconds later.
     """
     started = threading.Event()
     holder: dict = {}
@@ -292,10 +373,20 @@ def serve_in_thread(
         await server.serve_until_shutdown()
 
     def _run() -> None:
-        asyncio.run(_main())
+        try:
+            asyncio.run(_main())
+        except BaseException as exc:  # noqa: BLE001 - relayed to caller
+            holder.setdefault("error", exc)
+        finally:
+            started.set()
 
     thread = threading.Thread(target=_run, name="repro-live-server", daemon=True)
     thread.start()
     if not started.wait(timeout=30.0):
         raise RuntimeError("live server failed to start within 30s")
+    error = holder.get("error")
+    if error is not None:
+        raise error
+    if "server" not in holder:
+        raise RuntimeError("live server exited before binding")
     return ServerHandle(holder["server"], holder["loop"], thread)

@@ -23,7 +23,15 @@ directory is still growing, by keeping one cursor per physical file:
 * **truncation** (the live file shrinking below its cursor — a writer
   restarted with a fresh file on the same name/inode) is detected by
   ``size < offset`` and re-synced from byte 0, counted in
-  :attr:`StreamTailer.resyncs`.
+  :attr:`StreamTailer.resyncs`;
+* **recreation** (a writer that starts the file over on the same inode
+  and grows it *past* the old offset between polls — ``size < offset``
+  never fires) is detected by a small head fingerprint: the hash of the
+  first consumed bytes (up to :data:`FINGERPRINT_BYTES`) is remembered
+  per cursor, and a changed head forces the same re-sync from byte 0.
+  The fingerprint survives checkpoints (``to_state``/``from_state``),
+  so a resumed session detects a restart that happened while it was
+  down.
 
 Determinism: daemons are visited in sorted order and segments in the
 batch reader's chronological order, so the concatenation of every
@@ -33,13 +41,28 @@ batch reader would produce over the final directory.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.logsys.store import _SEGMENT_RE, tail_chunk
 
-__all__ = ["DirectoryTailer", "SegmentCursor", "StreamTailer", "TailChunk"]
+__all__ = [
+    "DirectoryTailer",
+    "FINGERPRINT_BYTES",
+    "SegmentCursor",
+    "StreamTailer",
+    "TailChunk",
+]
+
+#: Upper bound on the per-cursor head fingerprint.  Small enough that
+#: re-checking it every poll is one tiny read, long enough that a
+#: restarted writer is only missed if its new log opens with the exact
+#: same head bytes as the old one (a log4j stream opens with a
+#: timestamped line, so same-head collisions require a same-millisecond
+#: restart).
+FINGERPRINT_BYTES = 64
 
 
 @dataclass
@@ -63,6 +86,37 @@ class SegmentCursor:
     #: A finalized segment is fully consumed and will never be read
     #: again (rotated files do not grow).
     final: bool = False
+    #: Head fingerprint: SHA-1 of the first ``fp_len`` consumed bytes
+    #: (``fp_len <= FINGERPRINT_BYTES``).  ``None`` until the cursor has
+    #: consumed its first complete line.  A changed head means the
+    #: writer recreated the file on the same inode — even if it has
+    #: already grown past the old offset — and forces a re-sync.
+    fp: Optional[str] = None
+    fp_len: int = 0
+
+    def fingerprint(self, head: bytes) -> None:
+        """Remember the head of a file just consumed from byte 0."""
+        self.fp_len = min(FINGERPRINT_BYTES, len(head))
+        self.fp = hashlib.sha1(head[: self.fp_len]).hexdigest()
+
+    def head_changed(self, path: Path) -> bool:
+        """True when the on-disk head no longer matches the fingerprint."""
+        if self.fp is None:
+            return False
+        try:
+            with open(path, "rb") as handle:
+                head = handle.read(self.fp_len)
+        except OSError:
+            return False  # vanished mid-poll; the caller finalizes it
+        if len(head) < self.fp_len:
+            return True  # shrunk below the fingerprinted head
+        return hashlib.sha1(head).hexdigest() != self.fp
+
+    def resync(self) -> None:
+        """Start over from byte 0 (truncation or recreation detected)."""
+        self.offset = 0
+        self.fp = None
+        self.fp_len = 0
 
     def to_state(self) -> dict:
         return {
@@ -70,6 +124,8 @@ class SegmentCursor:
             "name": self.name,
             "offset": self.offset,
             "final": self.final,
+            "fp": self.fp,
+            "fp_len": self.fp_len,
         }
 
     @classmethod
@@ -79,6 +135,8 @@ class SegmentCursor:
             name=state["name"],
             offset=state["offset"],
             final=state["final"],
+            fp=state.get("fp"),
+            fp_len=state.get("fp_len", 0),
         )
 
 
@@ -153,18 +211,25 @@ class StreamTailer:
                 cursor.final = True
                 continue
             name, size = entry
+            path = name_path(cursor, by_inode)
             if Path(name).name == live_name:
-                if size < cursor.offset:
-                    # Truncation: the writer started over on this file.
+                if size < cursor.offset or cursor.head_changed(path):
+                    # Truncation, or a writer that recreated the file on
+                    # the same inode (the head no longer matches, even
+                    # though the new content may already be larger than
+                    # the old offset): start over from byte 0.
                     self.resyncs += 1
-                    cursor.offset = 0
-                buf, cursor.offset = tail_chunk(name_path(cursor, listing), cursor.offset, size)
+                    cursor.resync()
+                consumed_from_zero = cursor.offset == 0
+                buf, cursor.offset = tail_chunk(path, cursor.offset, size)
                 if buf:
+                    if consumed_from_zero:
+                        cursor.fingerprint(buf)
                     out.append(buf)
                 lag += size - cursor.offset
             else:
                 # Rotated: closed for writing — read to EOF, tail and all.
-                buf = _read_to_eof(name_path(cursor, listing), cursor.offset)
+                buf = _read_to_eof(path, cursor.offset)
                 cursor.offset += len(buf)
                 cursor.final = True
                 if buf:
@@ -174,13 +239,22 @@ class StreamTailer:
 
     def flush(self, listing: List[Tuple[str, int, int]]) -> bytes:
         """Drain: surrender every held-back byte, unterminated tails included."""
-        by_inode = {inode: (name, size) for name, inode, size in listing}
+        by_inode: Dict[int, Tuple[str, int]] = {
+            inode: (name, size) for name, inode, size in listing
+        }
         out: List[bytes] = []
         for cursor in self.cursors:
             if cursor.final or cursor.inode not in by_inode:
                 cursor.final = True
                 continue
-            buf = _read_to_eof(name_path(cursor, listing), cursor.offset)
+            path = name_path(cursor, by_inode)
+            if cursor.head_changed(path):
+                # Recreated between the final poll and the drain flush
+                # (or while a checkpointed session was down): re-sync so
+                # the flush reads the new incarnation whole.
+                self.resyncs += 1
+                cursor.resync()
+            buf = _read_to_eof(path, cursor.offset)
             cursor.offset += len(buf)
             cursor.final = True
             if buf:
@@ -193,6 +267,7 @@ class StreamTailer:
             "cursors": [cursor.to_state() for cursor in self.cursors],
             "resyncs": self.resyncs,
             "rotations": self.rotations,
+            "lag_bytes": self.lag_bytes,
         }
 
     @classmethod
@@ -201,14 +276,25 @@ class StreamTailer:
         tailer.cursors = [SegmentCursor.from_state(s) for s in state["cursors"]]
         tailer.resyncs = state["resyncs"]
         tailer.rotations = state["rotations"]
+        # Restored so `tail_lag_bytes` reads true immediately after a
+        # checkpoint resume, not 0 until the first poll.
+        tailer.lag_bytes = state.get("lag_bytes", 0)
         return tailer
 
 
-def name_path(cursor: SegmentCursor, listing: List[Tuple[str, int, int]]) -> Path:
-    """Resolve a cursor's current on-disk path from the poll listing."""
-    for name, inode, _size in listing:
-        if inode == cursor.inode:
-            return Path(name)
+def name_path(
+    cursor: SegmentCursor, by_inode: Dict[int, Tuple[str, int]]
+) -> Path:
+    """Resolve a cursor's current on-disk path from the poll's inode map.
+
+    The map is built once per :meth:`StreamTailer.advance`/``flush`` —
+    resolving each cursor is O(1) instead of a rescan of the whole
+    listing per cursor — with the stale ``cursor.name`` kept as the
+    fallback for inodes that vanished from the listing mid-poll.
+    """
+    entry = by_inode.get(cursor.inode)
+    if entry is not None:
+        return Path(entry[0])
     return Path(cursor.name)
 
 
@@ -227,6 +313,11 @@ class DirectoryTailer:
     def __init__(self, directory: str | Path):
         self.directory = Path(directory)
         self.streams: Dict[str, StreamTailer] = {}
+        #: Daemons evicted by the session's TTL policy: their files are
+        #: ignored by every future poll (no cursors, no re-reads from
+        #: byte 0), so eviction actually releases the memory instead of
+        #: re-accumulating it on the next scan.
+        self.evicted: Set[str] = set()
         self.drained = False
 
     # -- directory scanning ------------------------------------------------
@@ -268,11 +359,16 @@ class DirectoryTailer:
         """One pass over the directory: every stream's new complete lines."""
         chunks: List[TailChunk] = []
         listing = self._listing()
-        for daemon in sorted(set(listing) | set(self.streams)):
+        for daemon in sorted((set(listing) | set(self.streams)) - self.evicted):
             tailer = self._stream(daemon)
             data = tailer.advance(listing.get(daemon, []))
             chunks.append(TailChunk(daemon, data, tailer.segments))
         return chunks
+
+    def evict_stream(self, daemon: str) -> bool:
+        """Stop following ``daemon`` forever; True when it was tracked."""
+        self.evicted.add(daemon)
+        return self.streams.pop(daemon, None) is not None
 
     def drain(self) -> List[TailChunk]:
         """Final poll plus held-back tails: after this the tailer is done."""
@@ -306,6 +402,7 @@ class DirectoryTailer:
                 daemon: self.streams[daemon].to_state()
                 for daemon in sorted(self.streams)
             },
+            "evicted": sorted(self.evicted),
         }
 
     @classmethod
@@ -315,4 +412,5 @@ class DirectoryTailer:
         tailer = cls(directory if directory is not None else state["directory"])
         for daemon, stream_state in state["streams"].items():
             tailer.streams[daemon] = StreamTailer.from_state(daemon, stream_state)
+        tailer.evicted = set(state.get("evicted", ()))
         return tailer

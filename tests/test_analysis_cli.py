@@ -41,7 +41,7 @@ class TestPristine:
         payload = json.loads(capsys.readouterr().out)
         assert rc == 0
         assert payload["findings"] == []
-        assert payload["suppressed"] == 7
+        assert payload["suppressed"] == 8
         assert payload["unused_baseline"] == []
         assert sorted(payload["passes"]) == [
             "asyncsafety",

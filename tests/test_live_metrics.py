@@ -11,6 +11,7 @@ from repro.live.metrics import (
     Histogram,
     MetricsRegistry,
     build_live_registry,
+    merge_metric_states,
 )
 
 
@@ -154,3 +155,88 @@ class TestLiveRegistry:
         assert sum(1 for b in DELAY_BUCKETS if b < 1.0) >= 6
         assert DELAY_BUCKETS[-1] >= 60.0
         assert list(DELAY_BUCKETS) == sorted(DELAY_BUCKETS)
+
+
+class TestCrossShardAggregation:
+    """merge_metric_states: what the router's metrics endpoint serves."""
+
+    def _shard(self, lines, lag, observations=()):
+        registry = build_live_registry()
+        registry.counter("repro_live_ingest_lines_total").inc(lines)
+        registry.gauge("repro_live_tail_lag_bytes").set(lag)
+        histogram = registry.histogram("repro_live_component_delay_seconds")
+        for value in observations:
+            histogram.labels(component="allocation").observe(value)
+        return registry
+
+    def test_counters_and_gauges_sum(self):
+        merged = merge_metric_states(
+            [self._shard(100, 7).to_state(), self._shard(40, 3).to_state()]
+        )
+        assert merged.counter("repro_live_ingest_lines_total").value == 140
+        assert merged.gauge("repro_live_tail_lag_bytes").value == 10
+
+    def test_histogram_buckets_add_per_bound(self):
+        merged = merge_metric_states(
+            [
+                self._shard(0, 0, observations=[0.05, 0.2]).to_state(),
+                self._shard(0, 0, observations=[0.05]).to_state(),
+            ]
+        )
+        text = merged.render()
+        assert (
+            'repro_live_component_delay_seconds_count{component="allocation"} 3'
+            in text
+        )
+
+    def test_merge_is_commutative(self):
+        a = self._shard(10, 1, observations=[0.1]).to_state()
+        b = self._shard(20, 2, observations=[0.4, 2.0]).to_state()
+        assert (
+            merge_metric_states([a, b]).render()
+            == merge_metric_states([b, a]).render()
+        )
+
+    def test_single_state_round_trips(self):
+        registry = self._shard(33, 5, observations=[0.25])
+        assert merge_metric_states([registry.to_state()]).render() == (
+            registry.render()
+        )
+
+    def test_kind_mismatch_is_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", "h").inc()
+        other = MetricsRegistry()
+        other.gauge("x_total", "h").set(1)
+        with pytest.raises(TypeError):
+            merge_metric_states([registry.to_state(), other.to_state()])
+
+    def test_bound_mismatch_is_rejected(self):
+        registry = MetricsRegistry()
+        registry.histogram("h_seconds", "h", buckets=(1.0, 2.0))
+        other = MetricsRegistry()
+        other.histogram("h_seconds", "h", buckets=(1.0, 5.0))
+        with pytest.raises(ValueError):
+            merge_metric_states([registry.to_state(), other.to_state()])
+
+
+class TestResumedLagGauge:
+    def test_tail_lag_gauge_restored_from_checkpoint(self, tmp_path):
+        from repro.live import LiveSession
+
+        logdir = tmp_path / "logs"
+        logdir.mkdir()
+        (logdir / "rm.log").write_bytes(
+            b"2018-01-12 00:00:00,000 INFO A: x\nheld-back partial tail"
+        )
+        checkpoint = tmp_path / "state.json"
+        session = LiveSession(logdir, checkpoint_path=checkpoint)
+        session.poll()
+        lag = session.tail_lag_bytes
+        assert lag == len(b"held-back partial tail")
+        resumed = LiveSession.from_checkpoint(checkpoint)
+        # Before the first poll of the resumed process, the gauge must
+        # already report the real backlog, not 0.
+        assert (
+            resumed.metrics.gauge("repro_live_tail_lag_bytes").value == lag
+        )

@@ -320,6 +320,117 @@ class TestCheckpointResume:
         assert _drained_dict(resumed) == golden_batch_dict
 
 
+class TestShardMergeIdentity:
+    """The sharded extension of the contract: drained shards' merged
+    state rebuilds a report byte-identical to batch over the union of
+    their directories, for any assignment of files to shards."""
+
+    def _merged_dict(self, tmp_path, assignment):
+        """Drain one session per shard directory; merge; rebuild."""
+        from repro.live import merge_state_payloads, report_from_state_payload
+
+        shard_count = max(assignment.values()) + 1
+        shard_dirs = []
+        for index in range(shard_count):
+            shard_dir = tmp_path / f"shard{index}"
+            shard_dir.mkdir()
+            shard_dirs.append(shard_dir)
+        for name, blob in _corpus():
+            (shard_dirs[assignment[name]] / name).write_bytes(blob)
+        payloads = []
+        for shard_dir in shard_dirs:
+            session = LiveSession(shard_dir)
+            session.poll()
+            session.drain()
+            payloads.append(session.state_payload())
+        merged = merge_state_payloads(payloads)
+        report = report_from_state_payload(merged)
+        return report.to_dict(include_diagnostics=True)
+
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_round_robin_assignment_matches_batch(
+        self, shards, tmp_path, golden_batch_dict
+    ):
+        assignment = {
+            name: index % shards
+            for index, (name, _blob) in enumerate(_corpus())
+        }
+        assert self._merged_dict(tmp_path, assignment) == golden_batch_dict
+
+    def test_adversarial_split_containers_away_from_rm(
+        self, tmp_path, golden_batch_dict
+    ):
+        # The worst cut: every container stream on one shard, the RM/NM
+        # streams that carry the same app's allocation events on the
+        # other — the per-app analysis must stitch across the merge.
+        assignment = {
+            name: 0 if name.startswith("container_") else 1
+            for name, _blob in _corpus()
+        }
+        assert self._merged_dict(tmp_path, assignment) == golden_batch_dict
+
+    def test_empty_shard_contributes_nothing(
+        self, tmp_path, golden_batch_dict
+    ):
+        assignment = {name: 0 for name, _blob in _corpus()}
+        # Shard 1 exists but tails an empty directory.
+        assignment[sorted(assignment)[0]] = 0
+        (tmp_path / "shard1").mkdir()
+        from repro.live import merge_state_payloads, report_from_state_payload
+
+        shard0 = tmp_path / "shard0"
+        shard0.mkdir()
+        for name, blob in _corpus():
+            (shard0 / name).write_bytes(blob)
+        payloads = []
+        for shard_dir in (shard0, tmp_path / "shard1"):
+            session = LiveSession(shard_dir)
+            session.drain()
+            payloads.append(session.state_payload())
+        merged = merge_state_payloads(payloads)
+        report = report_from_state_payload(merged)
+        assert report.to_dict(include_diagnostics=True) == golden_batch_dict
+
+    def test_daemon_collision_across_shards_is_loud(self, tmp_path):
+        from repro.live import merge_state_payloads
+
+        payloads = []
+        for index in range(2):
+            shard_dir = tmp_path / f"shard{index}"
+            shard_dir.mkdir()
+            (shard_dir / "hadoop-resourcemanager.log").write_bytes(
+                b"2018-01-12 00:00:00,000 INFO A: x\n"
+            )
+            session = LiveSession(shard_dir)
+            session.drain()
+            payloads.append(session.state_payload())
+        with pytest.raises(ValueError, match="disjoint"):
+            merge_state_payloads(payloads)
+
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(data=st.data())
+    def test_any_assignment_matches_batch(
+        self, data, tmp_path_factory, golden_batch_dict
+    ):
+        tmp_path = tmp_path_factory.mktemp("shardmerge")
+        names = [name for name, _blob in _corpus()]
+        raw = {
+            name: data.draw(
+                st.integers(min_value=0, max_value=3), label=f"shard:{name}"
+            )
+            for name in names
+        }
+        # Compact shard indices so every shard directory is non-empty.
+        used = sorted(set(raw.values()))
+        remap = {shard: index for index, shard in enumerate(used)}
+        assignment = {name: remap[raw[name]] for name in names}
+        assert self._merged_dict(tmp_path, assignment) == golden_batch_dict
+
+
 class TestProvisionalStatus:
     def test_app_is_provisional_until_terminal_transition(self, tmp_path):
         rm_blob = (GOLDEN / "hadoop-resourcemanager.log").read_bytes()

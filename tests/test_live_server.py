@@ -121,6 +121,90 @@ class TestErrors:
             assert client.apps()
 
 
+class TestRequestCounting:
+    """Every received request line counts — parseable or not."""
+
+    def test_malformed_lines_count_as_queries(self, tmp_path):
+        session = LiveSession(_golden_copy(tmp_path))
+        server = serve_in_thread(session, poll_interval=0.01)
+        try:
+            with socket.create_connection(
+                (server.host, server.port), timeout=5.0
+            ) as raw:
+                reader = raw.makefile("rb")
+                raw.sendall(b"this is not json\n")
+                json.loads(reader.readline())
+                raw.sendall(b"[1, 2, 3]\n")
+                json.loads(reader.readline())
+                raw.sendall(b'{"op": "apps"}\n')
+                json.loads(reader.readline())
+        finally:
+            server.stop()
+        assert session.metrics.counter("repro_live_queries_total").value == 3
+        assert (
+            session.metrics.counter("repro_live_malformed_requests_total").value
+            == 2
+        )
+
+    def test_well_formed_requests_are_not_malformed(self, handle):
+        with LiveClient(handle.host, handle.port) as client:
+            client.apps()
+            text = client.metrics()
+        assert "repro_live_malformed_requests_total 0" in text
+
+
+class TestStartupFailure:
+    def test_bind_failure_raises_the_original_error(self, tmp_path):
+        import errno
+        import time
+
+        session = LiveSession(_golden_copy(tmp_path))
+        blocker = socket.socket()
+        try:
+            blocker.bind(("127.0.0.1", 0))
+            blocker.listen(1)
+            taken_port = blocker.getsockname()[1]
+            # The real OSError (address in use), immediately — not a
+            # generic RuntimeError 30 seconds later.
+            started = time.monotonic()
+            with pytest.raises(OSError) as excinfo:
+                serve_in_thread(session, port=taken_port)
+            assert excinfo.value.errno == errno.EADDRINUSE
+            assert time.monotonic() - started < 10.0
+        finally:
+            blocker.close()
+
+
+class TestShardOps:
+    def test_state_round_trips_through_the_miner(self, handle):
+        from repro.live.router import report_from_state_payload
+
+        with LiveClient(handle.host, handle.port) as client:
+            state = client.state()
+        assert state["final_apps"] == [APP_ID]
+        report = report_from_state_payload(state)
+        (app,) = report.apps
+        assert app.app_id == APP_ID
+
+    def test_drain_returns_a_drained_state(self, handle):
+        with LiveClient(handle.host, handle.port) as client:
+            state = client.drain()
+        assert state["drained"] is True
+        assert state["tail_lag_bytes"] == 0
+
+    def test_metrics_state_is_mergeable(self, handle):
+        from repro.live.metrics import merge_metric_states
+
+        with LiveClient(handle.host, handle.port) as client:
+            state = client.metrics_state()
+            text = client.metrics()
+        merged = merge_metric_states([state])
+        # A single-shard merge renders what the server rendered, except
+        # the two queries issued between the snapshots.
+        assert "repro_live_ingest_lines_total" in merged.render()
+        assert "repro_live_ingest_lines_total" in text
+
+
 class _StalledWriter:
     """A StreamWriter stand-in whose drain() never completes."""
 

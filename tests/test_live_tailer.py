@@ -136,6 +136,78 @@ class TestTruncation:
         assert tailer.resyncs == 1
 
 
+class TestSameInodeRecreation:
+    """Truncate-and-rewrite on the same inode must resync even when the
+    new content is not smaller than the consumed offset — the head
+    fingerprint, not the size, is what detects the new incarnation."""
+
+    def test_same_size_overwrite_resyncs_from_zero(self, tmp_path):
+        live = tmp_path / "rm.log"
+        first = b"first incarnation, line A\n"
+        live.write_bytes(first)
+        tailer = DirectoryTailer(tmp_path)
+        tailer.poll()
+        # Same path, same inode (open("wb") truncates in place), and —
+        # the killer case for the size heuristic — the same byte count.
+        second = b"second incarnation line A\n"
+        assert len(second) == len(first)
+        live.write_bytes(second)
+        (chunk,) = tailer.poll()
+        assert chunk.data == second
+        assert tailer.resyncs == 1
+
+    def test_recreation_growing_past_old_offset_resyncs(self, tmp_path):
+        live = tmp_path / "rm.log"
+        live.write_bytes(b"short old content\n")
+        tailer = DirectoryTailer(tmp_path)
+        tailer.poll()
+        replacement = b"entirely new content that is longer\nsecond line\n"
+        live.write_bytes(replacement)
+        (chunk,) = tailer.poll()
+        # The pre-fingerprint tailer would emit from the stale offset:
+        # mid-line garbage.  Resync re-reads the incarnation whole.
+        assert chunk.data == replacement
+        assert tailer.resyncs == 1
+
+    def test_plain_append_does_not_false_positive(self, tmp_path):
+        live = tmp_path / "rm.log"
+        live.write_bytes(b"stable head line\n")
+        tailer = DirectoryTailer(tmp_path)
+        tailer.poll()
+        with live.open("ab") as handle:
+            handle.write(b"appended line\n")
+        (chunk,) = tailer.poll()
+        assert chunk.data == b"appended line\n"
+        assert tailer.resyncs == 0
+
+    def test_fingerprint_survives_checkpoint_round_trip(self, tmp_path):
+        live = tmp_path / "rm.log"
+        first = b"first incarnation, line A\n"
+        live.write_bytes(first)
+        tailer = DirectoryTailer(tmp_path)
+        tailer.poll()
+        state = tailer.to_state()
+        second = b"second incarnation line A\n"
+        assert len(second) == len(first)
+        live.write_bytes(second)
+        resumed = DirectoryTailer.from_state(state)
+        (chunk,) = resumed.poll()
+        assert chunk.data == second
+        assert resumed.resyncs == 1
+
+    def test_drain_detects_recreation_too(self, tmp_path):
+        live = tmp_path / "rm.log"
+        first = b"first incarnation, line A\n"
+        live.write_bytes(first)
+        tailer = DirectoryTailer(tmp_path)
+        tailer.poll()
+        second = b"second incarnation line A\n"
+        live.write_bytes(second)
+        (chunk,) = tailer.drain()
+        assert chunk.data == second
+        assert tailer.resyncs == 1
+
+
 class TestDirectoryScanning:
     def test_non_log_files_are_ignored(self, tmp_path):
         (tmp_path / "rm.log").write_bytes(b"a\n")
