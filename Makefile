@@ -3,7 +3,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-miner bench-live bench-paper examples fuzz-smoke live-smoke live-shard-smoke lint sanitize clean
+.PHONY: install test bench bench-miner bench-live bench-paper examples fuzz-smoke live-smoke live-shard-smoke scenario-smoke lint sanitize clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -40,6 +40,13 @@ live-smoke:
 live-shard-smoke:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/test_live_sharded.py -q
 	REPRO_BENCH_SMOKE=1 PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_live_throughput.py::test_sharded_ingest_scaling -q -s
+
+# Scenario-pack smoke: generate the smallest preset at its pinned
+# seed, mine it (serial + parallel), and compare against the committed
+# golden snapshot; plus the CLI error-path regressions.
+scenario-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.experiments scenario --list
+	PYTHONPATH=src $(PYTHON) -m pytest "tests/test_scenarios_golden.py::TestSnapshots::test_matches_snapshot[autoscale-out]" "tests/test_scenarios_golden.py::TestSnapshots::test_parallel_mining_is_byte_identical[autoscale-out]" tests/test_scenarios_golden.py::TestCLI -q
 
 # Seeded corruption sweep over the golden corpus: every catalog
 # corruption x seed must leave analyze() crash-free, and the

@@ -54,6 +54,9 @@ class Node:
         #: are tracked but not enforced (the CPU-oversubscription
         #: behaviour the Kmeans interference experiment relies on).
         self.memory_only_fit = memory_only_fit
+        #: False once the node failed or was decommissioned; inactive
+        #: nodes are invisible to schedulers and placement queries.
+        self.active = True
         self._memory_used_mb = 0
         self._vcores_used = 0
         #: Aggregate demand (bytes/s) of write streams currently hitting

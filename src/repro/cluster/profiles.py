@@ -1,0 +1,76 @@
+"""Named hardware profiles for heterogeneous clusters.
+
+The paper's testbed is homogeneous (25 identical workers), but
+production fleets mix generations and instance families.  A
+:class:`HardwareProfile` overrides the per-node hardware constants of
+:class:`~repro.params.SimulationParams` for individual nodes; the
+scenario packs use the named presets below to model mixed fleets and
+autoscaled node joins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["HardwareProfile", "HARDWARE_PROFILES"]
+
+_MB = 1024 * 1024
+_GB = 1024 * _MB
+
+
+@dataclass(frozen=True, slots=True)
+class HardwareProfile:
+    """Per-node hardware shape overriding the cluster-wide defaults."""
+
+    name: str
+    cores: int
+    memory_mb: int
+    #: Aggregate sequential disk bandwidth, bytes/s.
+    disk_bandwidth: float
+    #: NIC bandwidth, bytes/s.
+    network_bandwidth: float
+    #: OS page-cache budget, bytes.
+    page_cache_bytes: float
+
+
+#: Named presets, keyed by profile name.  "baseline" mirrors the
+#: paper's worker shape (see SimulationParams defaults); the others are
+#: plausible neighbouring instance families.
+HARDWARE_PROFILES: Dict[str, HardwareProfile] = {
+    profile.name: profile
+    for profile in (
+        HardwareProfile(
+            name="baseline",
+            cores=32,
+            memory_mb=128 * 1024,
+            disk_bandwidth=400.0 * _MB,
+            network_bandwidth=1250.0 * _MB,
+            page_cache_bytes=1.0 * _GB,
+        ),
+        HardwareProfile(
+            name="compute",
+            cores=64,
+            memory_mb=96 * 1024,
+            disk_bandwidth=400.0 * _MB,
+            network_bandwidth=1250.0 * _MB,
+            page_cache_bytes=1.0 * _GB,
+        ),
+        HardwareProfile(
+            name="memory",
+            cores=24,
+            memory_mb=256 * 1024,
+            disk_bandwidth=300.0 * _MB,
+            network_bandwidth=1250.0 * _MB,
+            page_cache_bytes=2.0 * _GB,
+        ),
+        HardwareProfile(
+            name="burst",
+            cores=8,
+            memory_mb=32 * 1024,
+            disk_bandwidth=150.0 * _MB,
+            network_bandwidth=625.0 * _MB,
+            page_cache_bytes=0.5 * _GB,
+        ),
+    )
+}

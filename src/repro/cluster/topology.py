@@ -7,9 +7,10 @@ at min(sender NIC share, receiver NIC share).
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional
+from typing import Iterator, List, Optional, Sequence
 
 from repro.cluster.node import Node
+from repro.cluster.profiles import HardwareProfile
 from repro.params import SimulationParams
 from repro.simul.engine import SimulationError, Simulator
 
@@ -19,23 +20,51 @@ __all__ = ["Cluster"]
 class Cluster:
     """All worker nodes of the simulated testbed."""
 
-    def __init__(self, sim: Simulator, params: SimulationParams):
+    def __init__(
+        self,
+        sim: Simulator,
+        params: SimulationParams,
+        node_profiles: Optional[Sequence[Optional[HardwareProfile]]] = None,
+    ):
+        """``node_profiles``, when given, overrides the hardware shape
+        of individual nodes by index (None entries keep the params
+        defaults); extra nodes beyond ``params.num_nodes`` are NOT
+        implied — the list is truncated/padded to ``num_nodes``.
+        """
         self.sim = sim
         self.params = params
+        profiles: List[Optional[HardwareProfile]] = list(node_profiles or [])
+        profiles = (profiles + [None] * params.num_nodes)[: params.num_nodes]
         self.nodes: List[Node] = [
-            Node(
-                sim,
-                index=i,
-                cores=params.cores_per_node,
-                memory_mb=params.memory_per_node_mb,
-                disk_bandwidth=params.disk_bandwidth,
-                network_bandwidth=params.network_bandwidth,
-                page_cache_bytes=params.page_cache_bytes,
-                memory_only_fit=(params.resource_calculator == "memory"),
-            )
-            for i in range(params.num_nodes)
+            self._make_node(i, profile) for i, profile in enumerate(profiles)
         ]
         self._by_hostname = {n.hostname: n for n in self.nodes}
+
+    def _make_node(self, index: int, profile: Optional[HardwareProfile]) -> Node:
+        params = self.params
+        return Node(
+            self.sim,
+            index=index,
+            cores=profile.cores if profile else params.cores_per_node,
+            memory_mb=profile.memory_mb if profile else params.memory_per_node_mb,
+            disk_bandwidth=(
+                profile.disk_bandwidth if profile else params.disk_bandwidth
+            ),
+            network_bandwidth=(
+                profile.network_bandwidth if profile else params.network_bandwidth
+            ),
+            page_cache_bytes=(
+                profile.page_cache_bytes if profile else params.page_cache_bytes
+            ),
+            memory_only_fit=(params.resource_calculator == "memory"),
+        )
+
+    def add_node(self, profile: Optional[HardwareProfile] = None) -> Node:
+        """Join a new node to the cluster (autoscaling)."""
+        node = self._make_node(len(self.nodes), profile)
+        self.nodes.append(node)
+        self._by_hostname[node.hostname] = node
+        return node
 
     def __len__(self) -> int:
         return len(self.nodes)
@@ -65,8 +94,8 @@ class Cluster:
         return self.used_memory_mb() / self.total_memory_mb()
 
     def nodes_fitting(self, memory_mb: int, vcores: int) -> List[Node]:
-        """Nodes that could host a container of the given shape now."""
-        return [n for n in self.nodes if n.fits(memory_mb, vcores)]
+        """Active nodes that could host a container of this shape now."""
+        return [n for n in self.nodes if n.active and n.fits(memory_mb, vcores)]
 
     def least_loaded(self, memory_mb: int, vcores: int) -> Optional[Node]:
         """The fitting node with most free memory, or None."""

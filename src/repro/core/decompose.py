@@ -22,6 +22,30 @@ the delay metrics the paper defines:
   delay for opportunistic containers (Fig 7b);
 * aggregated **allocation delay** (messages 11 -> 12).
 
+The scenario packs extend the taxonomy with an *additive* breakdown the
+paper's six components do not cover, anchored at five app milestones
+``t0 <= t1 <= t2 <= t3 <= t4``:
+
+* ``t0`` SUBMITTED, ``t1`` the AM container's ALLOCATED line, ``t2``
+  the AM instance's first log, ``t3`` the Registered-AM line, ``t4``
+  the first task assignment;
+* **queue-wait delay** ``t1 - t0`` — time spent waiting in the
+  scheduler queue before any capacity was granted (distinct from the
+  marker-bounded allocation delay, which measures executor allocation);
+* **AM-launch delay** ``t2 - t1`` — granted capacity to a running
+  AppMaster process;
+* **preemption delay** — the part of ``[t3, t4]`` during which the
+  application was recovering from a forced container kill (Table I′
+  KILLED lines): the measure of the union of per-kill recovery
+  intervals ``[kill, next ALLOCATED after the kill (else t4)]``
+  clipped to ``[t3, t4]``;
+* **ramp delay** ``(t4 - t3) - preemption_delay`` — the remaining
+  executor allocate/launch ramp.
+
+By construction ``queue_wait + am_launch + driver + preemption + ramp
+= total`` exactly, and each term is non-negative on causally ordered
+logs — the invariant the scenario property suite pins.
+
 Every metric is ``None`` when its endpoints are missing from the logs —
 incomplete workflows are data, not errors (the SPARK-21562 bug was
 found exactly this way).
@@ -29,6 +53,7 @@ found exactly this way).
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -38,6 +63,7 @@ from repro.core.grouping import ApplicationTrace, ContainerTrace
 __all__ = [
     "ContainerDelays",
     "ApplicationDelays",
+    "BREAKDOWN_COMPONENTS",
     "HEADLINE_COMPONENTS",
     "decompose",
 ]
@@ -55,7 +81,23 @@ HEADLINE_COMPONENTS = (
     "cf_delay",
     "cl_delay",
     "allocation_delay",
+    "queue_wait_delay",
+    "am_launch_delay",
+    "preemption_delay",
+    "ramp_delay",
     "job_runtime",
+)
+
+#: The additive taxonomy-extension components: together with
+#: ``driver_delay`` they partition ``total_delay`` exactly (see module
+#: docstring).  Kept separate from HEADLINE_COMPONENTS so callers can
+#: assert the sum identity without enumerating the taxonomy by hand.
+BREAKDOWN_COMPONENTS = (
+    "queue_wait_delay",
+    "am_launch_delay",
+    "driver_delay",
+    "preemption_delay",
+    "ramp_delay",
 )
 
 #: Per-container components checked for negative (skew-betraying) spans.
@@ -66,6 +108,34 @@ def _span(start: Optional[float], end: Optional[float]) -> Optional[float]:
     if start is None or end is None:
         return None
     return end - start
+
+
+def _preemption_measure(
+    kills: List[float], allocs: List[float], lo: float, hi: float
+) -> float:
+    """Measure of the union of recovery intervals clipped to [lo, hi].
+
+    Each forced kill at time ``k`` opens a recovery interval ending at
+    the application's next ALLOCATED line after ``k`` (the replacement
+    grant), or at ``hi`` if no allocation follows.  ``allocs`` must be
+    sorted ascending.
+    """
+    intervals = []
+    for kill in kills:
+        idx = bisect_right(allocs, kill)
+        end = allocs[idx] if idx < len(allocs) else hi
+        start, stop = max(kill, lo), min(end, hi)
+        if start < stop:
+            intervals.append((start, stop))
+    intervals.sort()
+    total = 0.0
+    cursor = lo
+    for start, stop in intervals:
+        start = max(start, cursor)
+        if stop > start:
+            total += stop - start
+            cursor = stop
+    return total
 
 
 @dataclass(slots=True)
@@ -81,6 +151,9 @@ class ContainerDelays:
     launching_delay: Optional[float]
     launched_at: Optional[float]
     first_task_at: Optional[float]
+    #: When the RM force-killed this container (Table I′ KILLED line):
+    #: scheduler preemption or node loss.  None when never preempted.
+    preempted_at: Optional[float] = None
     #: The container's own log stream was mined (INSTANCE_FIRST_LOG
     #: seen).  False while the NM reports the container RUNNING means
     #: the instance log itself was lost or never collected.
@@ -105,6 +178,7 @@ class ContainerDelays:
             launching_delay=_span(scheduled, launched),
             launched_at=launched,
             first_task_at=trace.time_of(EventKind.FIRST_TASK),
+            preempted_at=trace.time_of(EventKind.CONTAINER_PREEMPTED),
             has_instance_log=first_log is not None or running is None,
         )
 
@@ -128,7 +202,13 @@ class ApplicationDelays:
     cf_delay: Optional[float]
     cl_delay: Optional[float]
     allocation_delay: Optional[float]
-    job_runtime: Optional[float]
+    # Defaulted: the Table I′ additive-breakdown extension — absent in
+    # reports mined before the extension and in hand-built fixtures.
+    queue_wait_delay: Optional[float] = None
+    am_launch_delay: Optional[float] = None
+    preemption_delay: Optional[float] = None
+    ramp_delay: Optional[float] = None
+    job_runtime: Optional[float] = None
     containers: List[ContainerDelays] = field(default_factory=list)
 
     @property
@@ -252,6 +332,22 @@ def decompose(trace: ApplicationTrace) -> ApplicationDelays:
         trace.time_of(EventKind.START_ALLO), trace.time_of(EventKind.END_ALLO)
     )
 
+    # Taxonomy extension: the additive breakdown of total_delay (module
+    # docstring).  t1 is the AM container's ALLOCATED line; preemption
+    # is measured over [registered, first_task] from Table I′ kills.
+    am_allocated = am.time_of(EventKind.CONTAINER_ALLOCATED) if am else None
+    queue_wait = _span(submitted, am_allocated)
+    am_launch = _span(am_allocated, driver_first_log)
+    preemption: Optional[float] = None
+    ramp: Optional[float] = None
+    if driver_registered is not None and first_task is not None:
+        kills = [c.preempted_at for c in containers if c.preempted_at is not None]
+        allocs = sorted(c.allocated for c in containers if c.allocated is not None)
+        preemption = _preemption_measure(
+            kills, allocs, driver_registered, first_task
+        )
+        ramp = (first_task - driver_registered) - preemption
+
     return ApplicationDelays(
         app_id=trace.app_id,
         submitted_at=submitted,
@@ -267,6 +363,10 @@ def decompose(trace: ApplicationTrace) -> ApplicationDelays:
         cf_delay=cf,
         cl_delay=cl,
         allocation_delay=allocation,
+        queue_wait_delay=queue_wait,
+        am_launch_delay=am_launch,
+        preemption_delay=preemption,
+        ramp_delay=ramp,
         job_runtime=_span(submitted, finished),
         containers=containers,
     )

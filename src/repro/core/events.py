@@ -27,10 +27,17 @@ class EventKind(enum.Enum):
     CONTAINER_RM_RUNNING = "CONTAINER_RM_RUNNING"
     CONTAINER_RM_COMPLETED = "CONTAINER_RM_COMPLETED"
     CONTAINER_RELEASED = "CONTAINER_RELEASED"
+    #: RM-side forced kill (scheduler preemption or node loss): capacity
+    #: the application had acquired was taken away.  Table I′ extension;
+    #: the anchor of the preemption-delay component.
+    CONTAINER_PREEMPTED = "CONTAINER_PREEMPTED"
     # NodeManager log — ContainerImpl
     CONTAINER_LOCALIZING = "CONTAINER_LOCALIZING"  # 6
     CONTAINER_SCHEDULED = "CONTAINER_SCHEDULED"  # 7
     CONTAINER_NM_RUNNING = "CONTAINER_NM_RUNNING"  # 8
+    #: NM-side kill acknowledgement (ContainerImpl entering KILLING);
+    #: corroborates CONTAINER_PREEMPTED from the other daemon's log.
+    CONTAINER_NM_KILLED = "CONTAINER_NM_KILLED"
     # Application logs (driver / executor / MR task)
     INSTANCE_FIRST_LOG = "INSTANCE_FIRST_LOG"  # 9 / 13
     DRIVER_REGISTERED = "DRIVER_REGISTERED"  # 10

@@ -24,9 +24,11 @@ _CONTAINER_KINDS = {
     EventKind.CONTAINER_RM_RUNNING,
     EventKind.CONTAINER_RM_COMPLETED,
     EventKind.CONTAINER_RELEASED,
+    EventKind.CONTAINER_PREEMPTED,
     EventKind.CONTAINER_LOCALIZING,
     EventKind.CONTAINER_SCHEDULED,
     EventKind.CONTAINER_NM_RUNNING,
+    EventKind.CONTAINER_NM_KILLED,
     EventKind.INSTANCE_FIRST_LOG,
     EventKind.FIRST_TASK,
     EventKind.MR_TASK_DONE,

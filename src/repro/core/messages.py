@@ -110,6 +110,8 @@ _RMCONTAINER_STATES = {
     "RUNNING": EventKind.CONTAINER_RM_RUNNING,
     "COMPLETED": EventKind.CONTAINER_RM_COMPLETED,
     "RELEASED": EventKind.CONTAINER_RELEASED,
+    # Table I′ extension: forced kills (preemption / node loss).
+    "KILLED": EventKind.CONTAINER_PREEMPTED,
 }
 
 #: ContainerImpl new-state -> event kind (messages 6-8).
@@ -117,6 +119,8 @@ _NMCONTAINER_STATES = {
     "LOCALIZING": EventKind.CONTAINER_LOCALIZING,
     "SCHEDULED": EventKind.CONTAINER_SCHEDULED,
     "RUNNING": EventKind.CONTAINER_NM_RUNNING,
+    # Table I′ extension: the NM acknowledging a forced kill.
+    "KILLING": EventKind.CONTAINER_NM_KILLED,
 }
 
 #: First-log class substrings -> Fig 9a instance-type code.

@@ -31,6 +31,10 @@ METRICS = (
     "cf_delay",
     "cl_delay",
     "allocation_delay",
+    "queue_wait_delay",
+    "am_launch_delay",
+    "preemption_delay",
+    "ramp_delay",
     "job_runtime",
 )
 
@@ -233,13 +237,20 @@ class AnalysisReport:
             f"{'metric':18s}{label_self + ' med':>10s}{label_other + ' med':>10s}"
             f"{'x':>7s}{label_self + ' p95':>10s}{label_other + ' p95':>10s}{'x':>7s}"
         ]
+        def ratio(base: float, new: float) -> float:
+            # 0-vs-0 is "unchanged", not undefined: components like
+            # preemption_delay are legitimately all-zero in calm runs.
+            if base:
+                return new / base
+            return 1.0 if new == base else float("nan")
+
         for metric in METRICS:
             a, b = self.sample(metric), other.sample(metric)
             if not a or not b:
                 continue
             lines.append(
-                f"{metric:18s}{a.p50:10.2f}{b.p50:10.2f}{b.p50 / a.p50 if a.p50 else float('nan'):7.2f}"
-                f"{a.p95:10.2f}{b.p95:10.2f}{b.p95 / a.p95 if a.p95 else float('nan'):7.2f}"
+                f"{metric:18s}{a.p50:10.2f}{b.p50:10.2f}{ratio(a.p50, b.p50):7.2f}"
+                f"{a.p95:10.2f}{b.p95:10.2f}{ratio(a.p95, b.p95):7.2f}"
             )
         return "\n".join(lines)
 

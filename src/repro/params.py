@@ -17,7 +17,7 @@ are cited inline; EXPERIMENTS.md records measured-vs-paper for each.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any
+from typing import Any, Dict, Optional
 
 __all__ = ["SimulationParams", "MB", "GB"]
 
@@ -87,6 +87,10 @@ class SimulationParams:
     rm_state_store_s: float = 0.04
     #: NM service time to admit a startContainer RPC.
     nm_start_container_s: float = 0.01
+    #: Weighted tenant fairness for the Fair Scheduler: YARN queue name
+    #: -> weight (unlisted queues weigh 1.0).  None keeps flat per-app
+    #: max-min fairness, byte-identical to the pre-weights scheduler.
+    queue_weights: Optional[Dict[str, float]] = None
 
     # ------------------------------------------------------------------
     # Opportunistic (distributed) scheduling
@@ -320,6 +324,12 @@ class SimulationParams:
             )
         if not (0.0 <= self.jvm_reuse_discount < 1.0):
             raise ValueError("jvm_reuse_discount must be in [0, 1)")
+        if self.queue_weights is not None:
+            for tenant, weight in self.queue_weights.items():
+                if weight <= 0:
+                    raise ValueError(
+                        f"queue_weights[{tenant!r}] must be > 0, got {weight}"
+                    )
 
     def __post_init__(self) -> None:
         self.validate()

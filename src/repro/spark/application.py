@@ -46,6 +46,11 @@ class SparkApplication(YarnApplication):
 
     AM_INSTANCE_TYPE = "spm"
 
+    #: Spark recovers from forced kills: lost tasks re-enter the pending
+    #: queue and a replacement container is requested (the preemption /
+    #: node-failure scenarios rely on this).
+    supports_container_kill = True
+
     def __init__(
         self,
         name: str,
@@ -59,8 +64,9 @@ class SparkApplication(YarnApplication):
         executor_vcores: Optional[int] = None,
         task_threads: Optional[int] = None,
         user: str = "ubuntu",
+        queue: str = "default",
     ):
-        super().__init__(name, user=user)
+        super().__init__(name, user=user, queue=queue)
         if num_executors < 1:
             raise ValueError("num_executors must be >= 1")
         self.workload = workload
@@ -89,6 +95,13 @@ class SparkApplication(YarnApplication):
         self._task_ids = count(0)
         self._executor_ids = count(1)
         self._rng = None
+        #: Containers lost to forced kills (drives the raised launch cap).
+        self._relaunches = 0
+        #: True while _allocation_loop is pulling grants; replacements
+        #: requested then are absorbed by raising its total instead of
+        #: racing it for the allocated store.
+        self._alloc_active = False
+        self._alloc_total = 0
         #: <1.0 when the driver attached to a warm JVM (section V-B).
         self._warm_factor = 1.0
         #: SDchecker-relevant milestones, for white-box assertions in tests.
@@ -169,6 +182,55 @@ class SparkApplication(YarnApplication):
         if self._stage_remaining == 0 and self._stage_done is not None:
             self._stage_done.succeed(None)
 
+    def container_killed(self, grant, instance, reason: str) -> None:
+        """Recover from a forced container kill (preemption / node loss).
+
+        Reclaims the dead executor's tasks into the pending queue,
+        re-offers them to the survivors, and asks the RM for a
+        replacement container (Spark's allocator requests missing
+        executors on its next heartbeat).
+        """
+        if self._stopped:
+            return
+        executor = next(
+            (e for e in self.registered_executors if e.ctx.grant is grant), None
+        )
+        if executor is not None:
+            # Remove first so task re-offers below never target the dead
+            # executor, then reclaim everything it would strand.
+            self.registered_executors.remove(executor)
+            lost = executor.kill(reason)
+            self._ctx.logger.info(
+                _BACKEND_CLS,
+                f"Lost executor {executor.executor_id} on "
+                f"{executor.ctx.node.hostname}: {reason}",
+            )
+            self._pending_tasks.extend(lost)
+            threads = self.task_threads_per_executor()
+            survivors = list(self.registered_executors)
+            for _ in range(threads):
+                for survivor in survivors:
+                    self._offer_tasks(survivor, 1)
+        elif instance is not None and instance.is_alive:
+            # Killed before it registered with the driver (still in
+            # executor init): unwind the instance process directly.
+            instance.interrupt(reason)
+        self._relaunches += 1
+        params = self._ctx.services.params
+        execution_type = (
+            ExecutionType.OPPORTUNISTIC if self.opportunistic else ExecutionType.GUARANTEED
+        )
+        self._ctx.am_client.request_containers(
+            ResourceRequest(self.executor_spec(params), 1, execution_type)
+        )
+        if self._alloc_active:
+            self._alloc_total += 1
+        else:
+            self._ctx.sim.process(
+                self._replacement_loop(self._ctx),
+                name=f"replace-{grant.container_id}",
+            )
+
     def task_failed(self, task: Task, executor: SparkExecutor) -> None:
         """A failed attempt: re-offer up to spark.task.maxFailures."""
         params = self._ctx.services.params
@@ -245,9 +307,8 @@ class SparkApplication(YarnApplication):
         ctx.am_client.request_containers(
             ResourceRequest(self.executor_spec(params), total, execution_type)
         )
-        sim.process(
-            self._allocation_loop(ctx, total), name=f"alloc-loop-{self.app_id}"
-        )
+        self._alloc_total = total
+        sim.process(self._allocation_loop(ctx), name=f"alloc-loop-{self.app_id}")
 
         # User main: RDD init, planning, job submission, stages.
         yield from self._user_main(ctx)
@@ -268,28 +329,31 @@ class SparkApplication(YarnApplication):
         executor = SparkExecutor(self, ectx, next(self._executor_ids))
         return executor.run()
 
-    def _allocation_loop(
-        self, ctx: ContainerContext, total: int
-    ) -> Generator[Event, Any, None]:
-        params = ctx.services.params
+    def _allocation_loop(self, ctx: ContainerContext) -> Generator[Event, Any, None]:
         granted = 0
         launched = 0
-        while granted < total:
-            grant = yield ctx.am_client.allocated.get()
-            granted += 1
-            if self._stopped:
-                ctx.am_client.release_container(grant)
-                continue
-            if launched >= self.num_executors:
-                # SPARK-21562: over-requested containers are never
-                # launched; they hold RM-side states only until release.
-                self.surplus_grants.append(grant)
-                continue
-            launched += 1
-            ctx.sim.process(
-                self._start_executor_container(ctx, grant),
-                name=f"launch-{grant.container_id}",
-            )
+        self._alloc_active = True
+        try:
+            # _alloc_total grows when a container is killed mid-allocation
+            # (the replacement rides on this same loop).
+            while granted < self._alloc_total:
+                grant = yield ctx.am_client.allocated.get()
+                granted += 1
+                if self._stopped:
+                    ctx.am_client.release_container(grant)
+                    continue
+                if launched >= self.num_executors + self._relaunches:
+                    # SPARK-21562: over-requested containers are never
+                    # launched; they hold RM-side states only until release.
+                    self.surplus_grants.append(grant)
+                    continue
+                launched += 1
+                ctx.sim.process(
+                    self._start_executor_container(ctx, grant),
+                    name=f"launch-{grant.container_id}",
+                )
+        finally:
+            self._alloc_active = False
         # END_ALLO — Table I message 12.
         ctx.logger.info(
             _ALLOCATOR_CLS,
@@ -298,11 +362,25 @@ class SparkApplication(YarnApplication):
         )
         self.milestones["allocation_complete"] = ctx.sim.now
 
+    def _replacement_loop(self, ctx: ContainerContext) -> Generator[Event, Any, None]:
+        """Pull one replacement grant after the allocation loop ended."""
+        grant = yield ctx.am_client.allocated.get()
+        if self._stopped:
+            ctx.am_client.release_container(grant)
+            return
+        yield from self._start_executor_container(ctx, grant)
+
     def _start_executor_container(
         self, ctx: ContainerContext, grant
     ) -> Generator[Event, Any, None]:
         params = ctx.services.params
         yield ctx.sim.timeout(self.rpc_latency())
+        if not grant.node.active:
+            # The node died between the grant and the launch RPC:
+            # release the RM-side accounting and request a replacement.
+            ctx.services.rm.container_killed(self, grant)
+            self.container_killed(grant, None, "node lost before launch")
+            return
         nm = ctx.services.rm.nm_for(grant.node)
         nm.start_container(grant, self.executor_launch_spec(params), self)
 

@@ -9,10 +9,10 @@ message 14 — the end of the total scheduling delay for the application.
 
 from __future__ import annotations
 
-from typing import Any, Generator, List, TYPE_CHECKING
+from typing import Any, Dict, Generator, List, TYPE_CHECKING
 
 from repro.cluster.contention import cold_fraction
-from repro.simul.engine import Event, Process
+from repro.simul.engine import Event, Interrupt, Process
 from repro.simul.resources import Store
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -40,9 +40,47 @@ class SparkExecutor:
         #: dispatch, like Spark's spread-out task placement).
         self.inbox: Store = Store(ctx.sim)
         self._logged_first_task = False
+        #: Worker processes, populated at registration (kill targets).
+        self._workers: List[Process] = []
+        #: Outstanding inbox gets by worker slot — a kill must reclaim
+        #: a task already handed to a get() the worker hasn't woken for.
+        self._gets: Dict[int, Event] = {}
+        #: Tasks mid-execution by worker slot.
+        self._running: Dict[int, Any] = {}
 
     def run(self) -> Generator[Event, Any, None]:
         """Container process body (invoked by the NM at launch)."""
+        try:
+            yield from self._run_body()
+        except Interrupt:
+            # Killed before registration completed (the registered path
+            # interrupts the workers instead); same farewell either way.
+            self.ctx.logger.info(_BACKEND_CLS, "Driver commanded a shutdown")
+            return
+
+    def kill(self, reason: str) -> List[Any]:
+        """Forcibly stop a registered executor; return the lost tasks.
+
+        Reclaims every task this executor would otherwise strand: queued
+        in the inbox, handed to a not-yet-woken inbox get, or
+        mid-execution — then interrupts the worker loops (each catches
+        its Interrupt and returns, so the executor's shutdown barrier
+        still completes normally).
+        """
+        lost: List[Any] = [t for t in self.inbox._items if t is not STOP]
+        self.inbox._items.clear()
+        for ev in self._gets.values():
+            # A put() may have handed a task straight to this get(); the
+            # worker never wakes (we interrupt it below), so take it back.
+            if ev.triggered and ev.ok and ev.value is not STOP:
+                lost.append(ev.value)
+        lost.extend(self._running.values())
+        for worker in self._workers:
+            if worker.is_alive:
+                worker.interrupt(reason)
+        return lost
+
+    def _run_body(self) -> Generator[Event, Any, None]:
         ctx = self.ctx
         sim = ctx.sim
         params = ctx.services.params
@@ -91,39 +129,54 @@ class SparkExecutor:
             f"Starting executor ID {self.executor_id} on host {ctx.node.hostname}",
         )
         slots = max(1, self.app.task_threads_per_executor())
-        workers: List[Process] = [
-            sim.process(self._worker(), name=f"worker-{ctx.container_id}-{w}")
+        self._workers = [
+            sim.process(self._worker(w), name=f"worker-{ctx.container_id}-{w}")
             for w in range(slots)
         ]
-        yield sim.all_of(workers)
+        yield sim.all_of(self._workers)
         ctx.logger.info(_BACKEND_CLS, "Driver commanded a shutdown")
 
-    def _worker(self) -> Generator[Event, Any, None]:
+    def _worker(self, wid: int) -> Generator[Event, Any, None]:
         """One task slot: pull, log, execute (or fail), report."""
         ctx = self.ctx
         sim = ctx.sim
         params = ctx.services.params
         fail_rng = ctx.services.rng.child(f"task-fail.{ctx.container_id}")
         while True:
-            task = yield self.inbox.get()
+            get_ev = self.inbox.get()
+            self._gets[wid] = get_ev
+            try:
+                task = yield get_ev
+            except Interrupt:
+                return  # executor killed while idle
+            finally:
+                self._gets.pop(wid, None)
             if task is STOP:
                 return
-            yield sim.timeout(self.app.rpc_latency())
-            # "Got assigned task N" — the first one is Table I msg 14.
-            ctx.logger.info(_EXECUTOR_CLS, f"Got assigned task {task.task_id}")
-            self._logged_first_task = True
-            if params.spark_task_failure_prob > 0 and fail_rng.bernoulli(
-                params.spark_task_failure_prob
-            ):
-                # Fail partway through: the wasted work still burned
-                # real resources; the driver re-offers the task.
-                yield from task.execute(ctx, completion=fail_rng.uniform(0.1, 0.9))
-                ctx.logger.error(
-                    _EXECUTOR_CLS,
-                    f"Exception in task {task.task_id} (attempt {task.attempts})",
-                )
-                self.app.task_failed(task, self)
-                continue
-            yield from task.execute(ctx)
-            self.tasks_run += 1
-            self.app.task_finished(task, self)
+            self._running[wid] = task
+            try:
+                yield sim.timeout(self.app.rpc_latency())
+                # "Got assigned task N" — the first one is Table I msg 14.
+                ctx.logger.info(_EXECUTOR_CLS, f"Got assigned task {task.task_id}")
+                self._logged_first_task = True
+                if params.spark_task_failure_prob > 0 and fail_rng.bernoulli(
+                    params.spark_task_failure_prob
+                ):
+                    # Fail partway through: the wasted work still burned
+                    # real resources; the driver re-offers the task.
+                    yield from task.execute(ctx, completion=fail_rng.uniform(0.1, 0.9))
+                    ctx.logger.error(
+                        _EXECUTOR_CLS,
+                        f"Exception in task {task.task_id} (attempt {task.attempts})",
+                    )
+                    self.app.task_failed(task, self)
+                    continue
+                yield from task.execute(ctx)
+                self.tasks_run += 1
+                self.app.task_finished(task, self)
+            except Interrupt:
+                # Executor killed mid-task; kill() already reclaimed the
+                # task for re-dispatch elsewhere.
+                return
+            finally:
+                self._running.pop(wid, None)

@@ -10,8 +10,9 @@ to it, run the clock, and hand the rendered logs to SDchecker.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
+from repro.cluster.profiles import HardwareProfile
 from repro.cluster.topology import Cluster
 from repro.hdfs.filesystem import Hdfs
 from repro.logsys.store import LogStore
@@ -37,12 +38,13 @@ class Testbed:
         seed: int = 0,
         distributed_scheduling: bool = False,
         scheduler: str = "capacity",
+        node_profiles: Optional[Sequence[Optional[HardwareProfile]]] = None,
     ):
         self.params = params if params is not None else SimulationParams()
         self.sim = Simulator()
         self.rng = RandomSource(seed)
         self.log_store = LogStore()
-        self.cluster = Cluster(self.sim, self.params)
+        self.cluster = Cluster(self.sim, self.params, node_profiles=node_profiles)
         self.hdfs = Hdfs(self.sim, self.cluster, self.params, self.rng)
         if scheduler == "capacity":
             scheduler_factory = CapacityScheduler
@@ -113,6 +115,46 @@ class Testbed:
     def run(self, until: float) -> None:
         """Advance the clock to ``until`` regardless of app completion."""
         self.sim.run(until=until)
+
+    # -- cluster membership changes (failure / autoscaling scenarios) --------
+    def fail_node(self, hostname: str, reason: str = "node failure") -> int:
+        """Abruptly lose a node mid-run.
+
+        The node goes inactive (no further placements), its heartbeats
+        stop, and every killable container on it is forcibly torn down
+        — applications recover via their ``container_killed`` hooks.
+        Returns the number of containers killed.
+        """
+        node = self.cluster.node(hostname)
+        nm = self.rm.nm_for(node)
+        nm.deactivate()
+        self.rm.logger.info(
+            "org.apache.hadoop.yarn.server.resourcemanager.rmnode.RMNodeImpl",
+            f"Deactivating Node {hostname}:8041 as it is now LOST",
+        )
+        return nm.kill_active_containers(reason)
+
+    def decommission_node(self, hostname: str) -> None:
+        """Gracefully retire a node: no new placements, running work
+        drains naturally (no kills)."""
+        node = self.cluster.node(hostname)
+        self.rm.nm_for(node).deactivate()
+        self.rm.logger.info(
+            "org.apache.hadoop.yarn.server.resourcemanager.rmnode.RMNodeImpl",
+            f"Deactivating Node {hostname}:8041 as it is now DECOMMISSIONED",
+        )
+
+    def add_node(self, profile: Optional[HardwareProfile] = None) -> str:
+        """Join a new worker mid-run (autoscaling); returns its hostname."""
+        node = self.cluster.add_node(profile)
+        self.rm.register_node_manager(NodeManager(self.rm, node))
+        self.rm.logger.info(
+            "org.apache.hadoop.yarn.server.resourcemanager.ResourceTrackerService",
+            f"NodeManager from node {node.hostname}(cmPort: 8041 httpPort: 8042) "
+            f"registered with capability: <memory:{node.memory_mb}, "
+            f"vCores:{node.cores}>",
+        )
+        return node.hostname
 
     # -- log output --------------------------------------------------------------
     def dump_logs(self, directory: str | Path) -> List[Path]:

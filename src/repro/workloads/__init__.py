@@ -6,6 +6,8 @@
 * dfsIO — the HDFS-write IO interference generator (Fig 12).
 * MapReduce wordcount — the cluster load generator (Fig 7, Table II).
 * google-trace arrivals — the production submission pattern.
+* scenario packs — composable production-scale runs (diurnal /
+  bursty arrivals, multi-tenant fairness, preemption, node churn).
 """
 
 from repro.workloads.tpch import TPCHDataset, TPCHQueryWorkload, TPCH_TABLES, TPCH_QUERIES
@@ -13,8 +15,20 @@ from repro.workloads.wordcount import WordCountWorkload, make_mr_wordcount
 from repro.workloads.kmeans import KmeansWorkload, make_kmeans_app
 from repro.workloads.dfsio import make_dfsio_app
 from repro.workloads.google_trace import google_trace_arrivals, tpch_query_mix
+from repro.workloads.scenarios import (
+    Scenario,
+    ScenarioRun,
+    SCENARIO_PRESETS,
+    get_scenario,
+    list_scenarios,
+)
 
 __all__ = [
+    "Scenario",
+    "ScenarioRun",
+    "SCENARIO_PRESETS",
+    "get_scenario",
+    "list_scenarios",
     "KmeansWorkload",
     "TPCHDataset",
     "TPCHQueryWorkload",

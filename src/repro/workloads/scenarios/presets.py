@@ -1,0 +1,159 @@
+"""Named scenario presets.
+
+Each preset is a production-shaped situation the paper's measurement
+methodology has to survive: diurnal load swings, weighted multi-tenant
+fairness, scheduler preemption storms, mid-run node failures, and
+autoscale-out churn.  Every preset is deterministic under its seed and
+pinned by a golden mined-report snapshot under ``tests/data/`` (see
+``tests/data/regen_golden.py``).
+
+Presets are deliberately sized so a full generate → mine → compare
+cycle stays in the low seconds; production *scale* (millions of
+submissions) is exercised by the vectorized arrival samplers in the
+property suite, where no simulation is needed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.params import GB
+from repro.workloads.scenarios.scenario import (
+    ArrivalSpec,
+    ClusterEvent,
+    Scenario,
+    TenantSpec,
+)
+
+__all__ = ["SCENARIO_PRESETS", "get_scenario", "list_scenarios"]
+
+
+_PRESETS: List[Scenario] = [
+    Scenario(
+        name="diurnal-burst",
+        description=(
+            "One tenant on a sinusoidal day cycle: submissions cluster "
+            "around the load peak, stretching queue-wait delay."
+        ),
+        n_jobs=8,
+        arrivals=ArrivalSpec(
+            kind="diurnal",
+            base_rate_per_s=0.02,
+            peak_rate_per_s=0.30,
+            period_s=240.0,
+        ),
+        tenants=(TenantSpec("analytics", num_executors=4),),
+        params={"num_nodes": 5},
+        dataset_bytes=2.0 * GB,
+        default_seed=11,
+    ),
+    Scenario(
+        name="multi-tenant-fairness",
+        description=(
+            "Three weighted tenants on the fair scheduler: a heavy "
+            "batch queue, a mid-weight analytics queue, and a "
+            "high-priority interactive queue."
+        ),
+        n_jobs=9,
+        arrivals=ArrivalSpec(kind="poisson", rate_per_s=0.20),
+        tenants=(
+            TenantSpec("batch", share=3.0, weight=1.0, num_executors=5),
+            TenantSpec("analytics", share=2.0, weight=2.0, num_executors=3),
+            TenantSpec(
+                "interactive",
+                share=1.0,
+                weight=4.0,
+                num_executors=2,
+                queries=(1, 6, 12),
+            ),
+        ),
+        scheduler="fair",
+        params={"num_nodes": 6},
+        dataset_bytes=2.0 * GB,
+        default_seed=23,
+    ),
+    Scenario(
+        name="preemption-storm",
+        description=(
+            "A container-hungry batch tenant saturates the cluster; the "
+            "preemption monitor reclaims containers for later arrivals. "
+            "Exercises the KILLED taxonomy path and preemption_delay."
+        ),
+        n_jobs=6,
+        arrivals=ArrivalSpec(kind="mmpp", rates_per_s=(0.04, 0.8), mean_dwell_s=25.0),
+        tenants=(
+            TenantSpec("hog", share=1.0, num_executors=10, queries=(5,)),
+            TenantSpec("victim", share=2.0, num_executors=3, queries=(1, 6)),
+        ),
+        scheduler="fair",
+        preemption={
+            "check_interval_s": 4.0,
+            "starvation_timeout_s": 8.0,
+            "max_per_pass": 2,
+        },
+        # 20 GB nodes: the hog's ten 4 GB executors saturate the
+        # cluster, so later victims actually starve (128 GB defaults
+        # never trigger the monitor).
+        params={"num_nodes": 4, "memory_per_node_mb": 20 * 1024},
+        dataset_bytes=2.0 * GB,
+        default_seed=37,
+    ),
+    Scenario(
+        name="node-failures",
+        description=(
+            "Heterogeneous hardware with a node lost mid-run and a "
+            "second decommissioned near the tail: killed containers "
+            "must be re-requested and recovery shows up as "
+            "preemption_delay."
+        ),
+        n_jobs=7,
+        arrivals=ArrivalSpec(kind="poisson", rate_per_s=0.15),
+        tenants=(TenantSpec("etl", num_executors=5),),
+        cluster_events=(
+            # 26 s lands the failure inside an app's executor ramp, so
+            # the kill surfaces as nonzero preemption_delay rather than
+            # a post-ramp relaunch.
+            ClusterEvent(at_s=26.0, kind="fail", node=2),
+            ClusterEvent(at_s=140.0, kind="decommission", node=4),
+        ),
+        node_profiles=("baseline", "compute", "memory", "baseline", "burst", "compute"),
+        params={"num_nodes": 6},
+        dataset_bytes=2.0 * GB,
+        default_seed=47,
+    ),
+    Scenario(
+        name="autoscale-out",
+        description=(
+            "A small cluster hit by an MMPP flash crowd while the "
+            "autoscaler joins two nodes mid-burst: late arrivals land "
+            "on fresh capacity."
+        ),
+        n_jobs=8,
+        arrivals=ArrivalSpec(kind="mmpp", rates_per_s=(0.05, 0.6), mean_dwell_s=20.0),
+        tenants=(TenantSpec("stream", num_executors=3),),
+        cluster_events=(
+            ClusterEvent(at_s=30.0, kind="add", profile="compute"),
+            ClusterEvent(at_s=60.0, kind="add", profile="burst"),
+        ),
+        params={"num_nodes": 3},
+        dataset_bytes=1.0 * GB,
+        default_seed=53,
+    ),
+]
+
+#: All presets by name, in declaration order.
+SCENARIO_PRESETS: Dict[str, Scenario] = {s.name: s for s in _PRESETS}
+
+
+def list_scenarios() -> List[str]:
+    """Preset names in declaration order."""
+    return list(SCENARIO_PRESETS)
+
+
+def get_scenario(name: str) -> Scenario:
+    """Preset by name; raises KeyError listing what exists."""
+    try:
+        return SCENARIO_PRESETS[name]
+    except KeyError:
+        known = ", ".join(SCENARIO_PRESETS)
+        raise KeyError(f"unknown scenario {name!r} (have: {known})") from None

@@ -64,6 +64,12 @@ class YarnApplication:
     #: instance-type code of the AM container (Fig 9a), e.g. "spm"/"mrm".
     AM_INSTANCE_TYPE = "spm"
 
+    #: Whether the framework recovers from forced container kills
+    #: (scheduler preemption, node failure).  Opting in requires
+    #: overriding :meth:`container_killed`; the preemption monitor and
+    #: node-failure injection only ever target opted-in applications.
+    supports_container_kill = False
+
     def __init__(self, name: str, user: str = "ubuntu", queue: str = "default"):
         self.name = name
         self.user = user
@@ -123,6 +129,21 @@ class YarnApplication:
     ) -> Generator[Event, Any, Any]:
         """The AppMaster body; must be a simulation process generator."""
         raise NotImplementedError
+
+    def container_killed(
+        self, grant: ContainerGrant, instance: Optional[Process], reason: str
+    ) -> None:
+        """One of this app's containers was forcibly killed.
+
+        Called by the NodeManager's kill path with the (possibly
+        not-yet-started, hence Optional) instance process.  Frameworks
+        that set ``supports_container_kill`` must reclaim the lost work
+        and request a replacement here.
+        """
+        raise SimulationError(
+            f"{self}: container {grant} was killed ({reason}) but "
+            f"{type(self).__name__} does not support container kills"
+        )
 
     def __str__(self) -> str:
         return str(self.app_id) if self.app_id is not None else f"<unsubmitted {self.name}>"

@@ -102,6 +102,11 @@ class CapacityScheduler:
         """Total containers waiting for allocation."""
         return sum(len(q) for q in self._pending.values())
 
+    def pending_for(self, record: "AppRecord") -> int:
+        """Containers this app is still waiting on (starvation probe)."""
+        queue = self._pending.get(record)
+        return len(queue) if queue is not None else 0
+
     def container_released(self, record: "AppRecord", spec: ResourceSpec) -> None:
         """Completion notification (fairness here keys off live-container
         counts the RM maintains, so nothing to update)."""
@@ -113,6 +118,8 @@ class CapacityScheduler:
         Run under the RM scheduler lock; yields the per-allocation
         dispatcher service time.
         """
+        if not node.active:
+            return  # a node update raced the node's failure
         for queue in self._pending.values():
             queue.age()
 

@@ -52,6 +52,12 @@ class FairScheduler:
         self.rm = rm
         self.params = rm.params
         self._queues: Dict[Any, _FairAppQueue] = {}
+        #: Weighted tenant fairness (params.queue_weights): hierarchical
+        #: max-min — first over per-tenant weighted memory shares, then
+        #: over apps within the tenant.  Empty dict = flat app fairness,
+        #: byte-identical to the unweighted scheduler.
+        self._weights: Dict[str, float] = dict(rm.params.queue_weights or {})
+        self._tenant_memory_mb: Dict[str, int] = {}
 
     # -- request intake ------------------------------------------------------
     def add_request(self, record: "AppRecord", request: ResourceRequest) -> None:
@@ -65,9 +71,16 @@ class FairScheduler:
     def pending_containers(self) -> int:
         return sum(len(q.pending) for q in self._queues.values())
 
+    def pending_for(self, record: "AppRecord") -> int:
+        """Containers this app is still waiting on (starvation probe)."""
+        queue = self._queues.get(record)
+        return len(queue.pending) if queue is not None else 0
+
     # -- the scheduling pass -----------------------------------------------------
     def assign_containers(self, node: "Node") -> Generator[Event, Any, None]:
         """One node update: repeatedly serve the most-starved app."""
+        if not node.active:
+            return  # a node update raced the node's failure
         while True:
             candidate = self._most_starved(node)
             if candidate is None:
@@ -82,6 +95,11 @@ class FairScheduler:
                 continue
             node.reserve(spec.memory_mb, spec.vcores)
             queue.memory_mb += spec.memory_mb
+            if self._weights:
+                tenant = record.app.queue
+                self._tenant_memory_mb[tenant] = (
+                    self._tenant_memory_mb.get(tenant, 0) + spec.memory_mb
+                )
             grant = self.rm.new_container(record, node, spec, ExecutionType.GUARANTEED)
             self.rm.deliver_grant(record, grant)
 
@@ -90,9 +108,19 @@ class FairScheduler:
         queue = self._queues.get(record)
         if queue is not None:
             queue.memory_mb = max(0, queue.memory_mb - spec.memory_mb)
+        if self._weights:
+            tenant = record.app.queue
+            held = self._tenant_memory_mb.get(tenant, 0)
+            self._tenant_memory_mb[tenant] = max(0, held - spec.memory_mb)
 
     def _most_starved(self, node: "Node"):
-        """The app with the lowest memory usage whose head request fits."""
+        """The app with the lowest memory usage whose head request fits.
+
+        With queue weights configured, tenants are compared first by
+        weighted memory share (held / weight; unlisted tenants weigh 1),
+        so a weight-3 tenant sustains 3x the memory of a weight-1 tenant
+        before losing priority.
+        """
         best = None
         best_key = None
         for record, queue in self._queues.items():
@@ -102,6 +130,10 @@ class FairScheduler:
             if not node.fits(head.memory_mb, head.vcores):
                 continue
             key = (queue.memory_mb, record.app.app_id.app_seq)
+            if self._weights:
+                tenant = record.app.queue
+                weight = self._weights.get(tenant, 1.0)
+                key = (self._tenant_memory_mb.get(tenant, 0) / weight,) + key
             if best_key is None or key < best_key:
                 best, best_key = (record, queue), key
         return best

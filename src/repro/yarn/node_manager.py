@@ -28,7 +28,7 @@ from collections import deque
 from typing import Any, Generator, List, Optional, TYPE_CHECKING
 
 from repro.cluster.contention import cold_fraction
-from repro.simul.engine import Event, Process, SimulationError
+from repro.simul.engine import Event, Interrupt, Process, SimulationError
 from repro.simul.resources import FairShareResource
 from repro.yarn.app import ContainerContext, YarnApplication
 from repro.yarn.records import ContainerGrant, ExecutionType, LaunchSpec
@@ -39,6 +39,23 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.yarn.resource_manager import ResourceManager
 
 __all__ = ["NodeManager"]
+
+
+class _ContainerRun:
+    """NM-side handle on one in-flight container lifecycle."""
+
+    __slots__ = ("grant", "app", "lifecycle", "instance", "cimpl", "kill_reason")
+
+    def __init__(self, grant: ContainerGrant, app: YarnApplication):
+        self.grant = grant
+        self.app = app
+        #: The _container_lifecycle process (interrupted to kill).
+        self.lifecycle: Optional[Process] = None
+        #: The launched instance process, once the JVM is up.
+        self.instance: Optional[Process] = None
+        #: The ContainerImpl state machine, once created.
+        self.cimpl: Optional[NMContainerStateMachine] = None
+        self.kill_reason: str = ""
 
 
 class NodeManager:
@@ -75,6 +92,8 @@ class NodeManager:
         self._opportunistic_queue: deque = deque()
         #: Containers currently running or queued here.
         self.active_containers: List[ContainerGrant] = []
+        #: In-flight lifecycles by container-ID string (kill targets).
+        self._runs: dict = {}
         self._heartbeat_proc = self.sim.process(
             self._heartbeat_loop(), name=f"nm-heartbeat-{node.hostname}"
         )
@@ -90,11 +109,25 @@ class NodeManager:
 
     # -- heartbeats -------------------------------------------------------------
     def _heartbeat_loop(self) -> Generator[Event, Any, None]:
-        # Random phase so the 25 NMs' node updates interleave.
-        yield self.sim.timeout(self._rng.uniform(0.0, self.params.nm_heartbeat_s))
-        while True:
-            self.rm.node_update(self)
-            yield self.sim.timeout(self.params.nm_heartbeat_s)
+        try:
+            # Random phase so the 25 NMs' node updates interleave.
+            yield self.sim.timeout(self._rng.uniform(0.0, self.params.nm_heartbeat_s))
+            while True:
+                self.rm.node_update(self)
+                yield self.sim.timeout(self.params.nm_heartbeat_s)
+        except Interrupt:
+            return  # node failed or was decommissioned
+
+    def deactivate(self) -> None:
+        """Take this node out of service (failure or decommission).
+
+        Marks the node inactive (schedulers and placement queries skip
+        it) and stops the heartbeat loop, so no further node updates
+        reach the RM from here.
+        """
+        self.node.active = False
+        if self._heartbeat_proc.is_alive:
+            self._heartbeat_proc.interrupt("node deactivated")
 
     # -- container lifecycle ------------------------------------------------------
     def start_container(
@@ -105,13 +138,102 @@ class NodeManager:
             raise SimulationError(
                 f"{grant} was bound to {grant.node.hostname}, not {self.node.hostname}"
             )
-        return self.sim.process(
-            self._container_lifecycle(grant, spec, app),
+        if not self.node.active:
+            raise SimulationError(
+                f"cannot start {grant} on inactive node {self.node.hostname}"
+            )
+        run = _ContainerRun(grant, app)
+        self._runs[str(grant.container_id)] = run
+        run.lifecycle = self.sim.process(
+            self._container_lifecycle(grant, spec, app, run),
             name=f"container-{grant.container_id}",
         )
+        return run.lifecycle
+
+    def kill_container(self, grant: ContainerGrant, reason: str) -> None:
+        """Force-kill an in-flight container (preemption / node loss)."""
+        run = self._runs.get(str(grant.container_id))
+        if run is None or run.lifecycle is None or not run.lifecycle.is_alive:
+            raise SimulationError(
+                f"{self.node.hostname}: no killable container {grant}"
+            )
+        run.kill_reason = reason
+        run.lifecycle.interrupt(reason)
+
+    def kill_active_containers(self, reason: str) -> int:
+        """Force-kill every killable container here (node failure).
+
+        AM containers, opportunistic containers, and containers of
+        frameworks that do not support kills are spared; returns the
+        number of kills issued.
+        """
+        killed = 0
+        for run in list(self._runs.values()):
+            grant, app = run.grant, run.app
+            if grant.container_id.is_application_master:
+                continue
+            if grant.execution_type is not ExecutionType.GUARANTEED:
+                continue
+            if not app.supports_container_kill:
+                continue
+            if grant.rm_container.state not in ("ACQUIRED", "RUNNING"):
+                continue
+            self.rm.preempt_container(app, grant, reason)
+            killed += 1
+        return killed
 
     def _container_lifecycle(
-        self, grant: ContainerGrant, spec: LaunchSpec, app: YarnApplication
+        self,
+        grant: ContainerGrant,
+        spec: LaunchSpec,
+        app: YarnApplication,
+        run: _ContainerRun,
+    ) -> Generator[Event, Any, None]:
+        try:
+            yield from self._lifecycle_body(grant, spec, app, run)
+        except Interrupt as exc:
+            yield from self._reap_killed(grant, app, run, exc)
+        finally:
+            self._runs.pop(str(grant.container_id), None)
+
+    def _reap_killed(
+        self,
+        grant: ContainerGrant,
+        app: YarnApplication,
+        run: _ContainerRun,
+        exc: Interrupt,
+    ) -> Generator[Event, Any, None]:
+        """Tear down a force-killed container and report the loss.
+
+        Logs the NM-side KILLING acknowledgement (Table I′), hands the
+        lost instance back to the application for recovery, waits for
+        the instance process to unwind, then releases RM-side resources.
+        """
+        reason = run.kill_reason or str(exc.cause or "killed")
+        cimpl = run.cimpl
+        if cimpl is not None and cimpl.state in ("LOCALIZING", "SCHEDULED", "RUNNING"):
+            cimpl.handle("KILL_CONTAINER")  # -> KILLING  (Table I′)
+            cimpl.handle("CONTAINER_RESOURCES_CLEANEDUP")  # -> DONE
+        if grant in self.active_containers:
+            self.active_containers.remove(grant)
+        instance = run.instance
+        app.container_killed(grant, instance, reason)
+        if instance is not None and instance.is_alive:
+            # The instance unwinds (workers catch their interrupts and
+            # return); wait so RM accounting happens after it is gone.
+            try:
+                yield instance
+            except Interrupt:
+                pass
+        self.rm.container_killed(app, grant)
+        self.drain_queued()
+
+    def _lifecycle_body(
+        self,
+        grant: ContainerGrant,
+        spec: LaunchSpec,
+        app: YarnApplication,
+        run: _ContainerRun,
     ) -> Generator[Event, Any, None]:
         sim = self.sim
         params = self.params
@@ -121,6 +243,7 @@ class NodeManager:
         self.active_containers.append(grant)
 
         cimpl = NMContainerStateMachine(cid, self.logger)
+        run.cimpl = cimpl
         cimpl.handle("INIT_CONTAINER")  # NEW -> LOCALIZING  (Table I msg 6)
 
         # ---- localization ----------------------------------------------------
@@ -217,6 +340,7 @@ class NodeManager:
         if grant.container_id.is_application_master:
             ctx.am_client = self.rm.make_am_client(app)
         instance = sim.process(spec.run(ctx), name=f"instance-{cid}")
+        run.instance = instance
         # The NM thread blocks on the launch script until the container
         # exits (section III-B).
         yield instance
@@ -254,6 +378,8 @@ class NodeManager:
         Called whenever resources free on this node — including
         guaranteed-container completions, which the RM routes here.
         """
+        if not self.node.active:
+            return  # a dead node never admits queued work
         self._drain_opportunistic_queue()
 
     def _drain_opportunistic_queue(self) -> None:

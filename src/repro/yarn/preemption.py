@@ -1,0 +1,149 @@
+"""Scheduler-side container preemption.
+
+YARN's Capacity and Fair schedulers both ship a preemption monitor: a
+periodic policy thread that watches for applications starved below
+their share and forcibly reclaims containers from over-served
+applications.  The reclaimed containers produce the Table I′ KILLED /
+KILLING transitions, and the victims' recovery time is the
+**preemption delay** component of the extended decomposition
+(:mod:`repro.core.decompose`).
+
+The policy here mirrors ``ProportionalCapacityPreemptionPolicy`` at
+the granularity the simulation needs:
+
+* an application is *starved* once it has had unsatisfied container
+  asks for ``starvation_timeout_s`` (YARN's
+  ``preemption.starvation-check`` / fair-share timeout);
+* victims are applications holding more than ``victim_floor`` running
+  containers, most-loaded first (the proportional policy's
+  most-over-capacity ordering);
+* at most ``max_per_pass`` containers die per monitor pass (YARN's
+  ``total_preemption_per_round`` damping), most recently launched
+  first — the natural-termination-cost heuristic;
+* AM containers are never preempted (YARN's AM-preemption guard), and
+  neither are frameworks that do not opt into
+  ``supports_container_kill``.
+
+A pass is purely synchronous — victim selection happens between
+simulation events — so runs are deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, TYPE_CHECKING, Tuple
+
+from repro.simul.engine import Interrupt
+from repro.yarn.records import ContainerGrant, ExecutionType
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.yarn.resource_manager import AppRecord, ResourceManager
+
+__all__ = ["PreemptionMonitor"]
+
+
+class PreemptionMonitor:
+    """Periodic starvation check + proportional container reclamation."""
+
+    def __init__(
+        self,
+        rm: "ResourceManager",
+        check_interval_s: float = 5.0,
+        starvation_timeout_s: float = 10.0,
+        max_per_pass: int = 2,
+        victim_floor: int = 1,
+    ):
+        if check_interval_s <= 0 or starvation_timeout_s < 0:
+            raise ValueError("preemption intervals must be positive")
+        if max_per_pass < 1 or victim_floor < 0:
+            raise ValueError("invalid preemption budget")
+        self.rm = rm
+        self.sim = rm.sim
+        self.check_interval_s = check_interval_s
+        self.starvation_timeout_s = starvation_timeout_s
+        self.max_per_pass = max_per_pass
+        self.victim_floor = victim_floor
+        #: Total containers this monitor has preempted (introspection).
+        self.preemptions = 0
+        #: When each app's current starvation episode began.
+        self._starved_since: Dict["AppRecord", float] = {}
+        self._proc = rm.sim.process(self._run(), name="preemption-monitor")
+
+    def stop(self) -> None:
+        """Shut the monitor down (end-of-scenario cleanup)."""
+        if self._proc.is_alive:
+            self._proc.interrupt("monitor stopped")
+
+    # -- internals ---------------------------------------------------------
+    def _run(self):
+        try:
+            while True:
+                yield self.sim.timeout(self.check_interval_s)
+                self._pass()
+        except Interrupt:
+            return
+
+    def _pass(self) -> None:
+        starved = self._starved_records()
+        if not starved:
+            return
+        demand = sum(self.rm.scheduler.pending_for(r) for r in starved)
+        budget = min(self.max_per_pass, demand)
+        for record, grants in self._victims(set(starved)):
+            excess = len(grants) - self.victim_floor
+            # Most recently launched first: least sunk work destroyed.
+            for grant in reversed(grants):
+                if budget <= 0 or excess <= 0:
+                    break
+                self.rm.preempt_container(
+                    record.app,
+                    grant,
+                    "container preempted by scheduler",
+                )
+                self.preemptions += 1
+                budget -= 1
+                excess -= 1
+            if budget <= 0:
+                return
+
+    def _starved_records(self) -> List["AppRecord"]:
+        """Apps with unsatisfied asks for longer than the timeout."""
+        now = self.sim.now
+        starved = []
+        for record in self.rm.apps.values():
+            if record.finished:
+                self._starved_since.pop(record, None)
+                continue
+            if self.rm.scheduler.pending_for(record) > 0:
+                since = self._starved_since.setdefault(record, now)
+                if now - since >= self.starvation_timeout_s:
+                    starved.append(record)
+            else:
+                self._starved_since.pop(record, None)
+        return starved
+
+    def _victims(
+        self, starved: set
+    ) -> List[Tuple["AppRecord", List[ContainerGrant]]]:
+        """Over-served apps with reclaimable containers, largest first."""
+        victims = []
+        for record in self.rm.apps.values():
+            if record.finished or record in starved:
+                continue
+            if not record.app.supports_container_kill:
+                continue
+            if self.rm.scheduler.pending_for(record) > 0:
+                # An app with unsatisfied asks of its own is not
+                # over-served — skipping it stops preemption ping-pong
+                # between a victim and the app it was preempted for.
+                continue
+            grants = [
+                g
+                for g in record.app.grants
+                if not g.container_id.is_application_master
+                and g.execution_type is ExecutionType.GUARANTEED
+                and g.rm_container.state == "RUNNING"
+            ]
+            if len(grants) > self.victim_floor:
+                victims.append((record, grants))
+        victims.sort(key=lambda rv: (-len(rv[1]), rv[0].app.app_id.app_seq))
+        return victims

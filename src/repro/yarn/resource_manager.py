@@ -117,16 +117,23 @@ class ResourceManager:
         yield self.sim.timeout(params.rm_event_service_s)
         record.rm_app.handle("APP_ACCEPTED")  # -> ACCEPTED   (Table I msg 2)
 
-        # Ask the centralized scheduler for the AM container.
-        record.am_allocated = self.sim.event()
-        self.scheduler.add_request(record, app.am_resource(params))
-        grant = yield record.am_allocated
+        # Ask the centralized scheduler for the AM container.  Retry if
+        # the granted node died between allocation and launch (the AM
+        # launcher's StartContainers RPC would fail against a lost NM).
+        while True:
+            record.am_allocated = self.sim.event()
+            self.scheduler.add_request(record, app.am_resource(params))
+            grant = yield record.am_allocated
 
-        # AMLauncher: acquire the container and start it on its NM.
-        yield self.sim.timeout(params.rm_event_service_s + self._rpc())
-        grant.rm_container.handle("ACQUIRED")  # Table I msg 5
-        nm = self.nm_for(grant.node)
-        nm.start_container(grant, app.am_launch_spec(), app)
+            # AMLauncher: acquire the container and start it on its NM.
+            yield self.sim.timeout(params.rm_event_service_s + self._rpc())
+            if not grant.node.active:
+                self.container_killed(app, grant)
+                continue
+            grant.rm_container.handle("ACQUIRED")  # Table I msg 5
+            nm = self.nm_for(grant.node)
+            nm.start_container(grant, app.am_launch_spec(), app)
+            return
 
     def make_am_client(self, app: YarnApplication) -> AMRMClient:
         """Build the AM's RM client (called by the NM at AM launch)."""
@@ -247,6 +254,53 @@ class ResourceManager:
             grant.node.free(grant.spec.memory_mb, grant.spec.vcores)
             self.scheduler.container_released(record, grant.spec)
             self.nm_for(grant.node).drain_queued()
+
+    # -- forced kills (preemption / node loss) -------------------------------
+    def preempt_container(
+        self, app: YarnApplication, grant: ContainerGrant, reason: str
+    ) -> None:
+        """Forcibly take a launched container away from its application.
+
+        Logs the Table I′ KILLED transition, then tells the owning NM to
+        tear the container down; the NM's kill path routes the loss back
+        through :meth:`container_killed` for resource accounting.
+        """
+        if not app.supports_container_kill:
+            raise SimulationError(
+                f"{app}: cannot preempt {grant} — framework does not "
+                f"support container kills"
+            )
+        if grant.execution_type is not ExecutionType.GUARANTEED:
+            raise SimulationError(
+                f"cannot preempt opportunistic container {grant}"
+            )
+        state = grant.rm_container.state
+        if state not in ("ACQUIRED", "RUNNING"):
+            raise SimulationError(
+                f"cannot preempt {grant} in state {state!r}"
+            )
+        grant.rm_container.handle("KILL")  # Table I′ KILLED line
+        self.nm_for(grant.node).kill_container(grant, reason)
+
+    def container_killed(self, app: YarnApplication, grant: ContainerGrant) -> None:
+        """Resource accounting after a forced kill.
+
+        Safe to call whether or not the KILLED transition was already
+        logged (the NM launch-guard path reaps grants the RM never
+        preempted explicitly).
+        """
+        record = self._record(app)
+        if grant.rm_container.state in ("ALLOCATED", "ACQUIRED", "RUNNING"):
+            grant.rm_container.handle("KILL")  # Table I′ KILLED line
+        record.live_containers -= 1
+        if grant.execution_type is ExecutionType.GUARANTEED:
+            grant.node.free(grant.spec.memory_mb, grant.spec.vcores)
+            self.scheduler.container_released(record, grant.spec)
+            self.nm_for(grant.node).drain_queued()
+        try:
+            record.allocated_buffer.remove(grant)
+        except ValueError:
+            pass
 
     # -- helpers --------------------------------------------------------------------
     def _record(self, app: YarnApplication) -> AppRecord:

@@ -115,6 +115,11 @@ class RMContainerStateMachine(LoggingStateMachine):
         # SPARK-21562 over-request bug leaves some here).
         ("ALLOCATED", "RELEASED"): "RELEASED",
         ("ACQUIRED", "RELEASED"): "RELEASED",
+        # Forced kills: scheduler preemption or node loss takes the
+        # container away from the application (Table I′ extension).
+        ("ALLOCATED", "KILL"): "KILLED",
+        ("ACQUIRED", "KILL"): "KILLED",
+        ("RUNNING", "KILL"): "KILLED",
     }
 
 
@@ -138,6 +143,8 @@ class NMContainerStateMachine(LoggingStateMachine):
         ("SCHEDULED", "CONTAINER_LAUNCHED"): "RUNNING",
         ("RUNNING", "CONTAINER_EXITED_WITH_SUCCESS"): "EXITED_WITH_SUCCESS",
         ("EXITED_WITH_SUCCESS", "CONTAINER_RESOURCES_CLEANEDUP"): "DONE",
+        ("LOCALIZING", "KILL_CONTAINER"): "KILLING",
         ("SCHEDULED", "KILL_CONTAINER"): "KILLING",
+        ("RUNNING", "KILL_CONTAINER"): "KILLING",
         ("KILLING", "CONTAINER_RESOURCES_CLEANEDUP"): "DONE",
     }

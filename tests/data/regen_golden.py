@@ -14,10 +14,15 @@ It rebuilds, fully deterministically:
 * ``tests/data/golden_expected_truncate_tail.json``  — the full export
   *including diagnostics* after the canned ``truncate-tail`` corruption
   at seed 0, pinning both the corruption bytes and the degradation
-  accounting.
+  accounting;
+* ``tests/data/scenario_<preset>_expected.json``  — one mined-report
+  snapshot per scenario pack in
+  :data:`repro.workloads.scenarios.SCENARIO_PRESETS`, each generated
+  at its preset's pinned seed.
 
-``tests/test_golden_corpus.py`` asserts the current code still
-reproduces these snapshots; diff any regen before committing it.
+``tests/test_golden_corpus.py`` and ``tests/test_scenarios_golden.py``
+assert the current code still reproduces these snapshots; diff any
+regen before committing it.
 """
 
 from __future__ import annotations
@@ -77,6 +82,23 @@ def main() -> int:
     files = sorted(p.name for p in golden.iterdir())
     print(f"golden corpus: {len(files)} file(s)")
     print("snapshots: golden_expected.json, golden_expected_truncate_tail.json")
+
+    from repro.workloads.scenarios import SCENARIO_PRESETS
+
+    for name, scenario in SCENARIO_PRESETS.items():
+        run = scenario.run()
+        # Snapshot what the *dumped* logs mine to — timestamps on disk
+        # carry log4j millisecond precision, so this pins the rendered
+        # bytes, not the simulator's internal floats.
+        with tempfile.TemporaryDirectory() as scratch:
+            logdir = Path(scratch) / "logs"
+            run.testbed.dump_logs(logdir)
+            report = SDChecker().analyze(logdir)
+        snapshot = HERE / f"scenario_{name.replace('-', '_')}_expected.json"
+        snapshot.write_text(
+            json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"snapshot: {snapshot.name} ({len(report)} app(s))")
     return 0
 
 

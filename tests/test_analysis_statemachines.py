@@ -85,8 +85,11 @@ class TestPristineTree:
         assert findings and {f.rule for f in findings} == {"SD204"}
         assert all(f.severity == "info" for f in findings)
 
-    def test_the_six_accepted_invisible_transitions(self):
+    def test_the_five_accepted_invisible_transitions(self):
+        # Was six before the Table I′ taxonomy extension: KILLING became
+        # a mined catalog state, so the SCHEDULED -> KILLING transition
+        # is now SDchecker-visible and no longer flagged.
         messages = sorted(f.message for f in statemachines.run(SRC_ROOT))
-        assert len(messages) == 6
-        assert sum("NMContainerStateMachine" in m for m in messages) == 4
+        assert len(messages) == 5
+        assert sum("NMContainerStateMachine" in m for m in messages) == 3
         assert sum("RMAppStateMachine" in m for m in messages) == 2

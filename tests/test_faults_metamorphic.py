@@ -199,3 +199,84 @@ class TestDegradationVisibility:
         assert diagnostics is not None
         assert not diagnostics.degraded()
         assert diagnostics.summary().startswith("Mining diagnostics: clean")
+
+
+# ---------------------------------------------------------------------------
+# Scenario packs under the corruption sweep.
+# ---------------------------------------------------------------------------
+
+from repro.workloads.scenarios import SCENARIO_PRESETS, list_scenarios  # noqa: E402
+
+PRESETS = list_scenarios()
+
+
+@pytest.fixture(scope="module")
+def scenario_corpora(tmp_path_factory):
+    """Each preset's dumped logs plus its clean mined report."""
+    corpora = {}
+    for name in PRESETS:
+        run = SCENARIO_PRESETS[name].run()
+        path = tmp_path_factory.mktemp(f"scenario-{name}") / "logs"
+        run.testbed.dump_logs(path)
+        corpora[name] = (path, SDChecker().analyze(path))
+    return corpora
+
+
+class TestScenarioCorruptionSweep:
+    """Every preset survives the whole fault catalog.
+
+    Scenario corpora are *harder* than the single-app baseline: killed
+    containers, mid-run node churn, and interleaved multi-tenant
+    streams.  The mining contract must still hold — identity
+    corruptions invisible, degradations named, never a crash.
+    """
+
+    @pytest.mark.parametrize("name", PRESETS)
+    def test_identity_stack_is_invisible(self, name, tmp_path, scenario_corpora):
+        corpus, clean = scenario_corpora[name]
+        out = tmp_path / "logs"
+        corrupt_copy(corpus, out, identity_names(), seed=101)
+        report = SDChecker().analyze(out)
+        assert _fingerprint(report) == _fingerprint(clean)
+
+    @pytest.mark.parametrize("name", PRESETS)
+    def test_degradation_sweep_never_crashes_and_names_losses(
+        self, name, tmp_path, scenario_corpora
+    ):
+        """The full degrading subset stacked onto one scenario corpus."""
+        corpus, clean = scenario_corpora[name]
+        out = tmp_path / "logs"
+        corrupt_copy(corpus, out, degradation_names(), seed=13)
+        report = SDChecker().analyze(out)  # the contract: never raises
+        diagnostics = report.diagnostics
+        assert diagnostics is not None
+
+        clean_apps = _per_app(clean)
+        mined_apps = _per_app(report)
+        for app_id, clean_app in clean_apps.items():
+            assert app_id in mined_apps  # degrade, never vanish
+            app_diag = diagnostics.apps.get(app_id)
+            for metric in METRICS:
+                if mined_apps[app_id][metric] is None and clean_app[metric] is not None:
+                    assert app_diag is not None
+                    assert metric in app_diag.missing_components
+        if _fingerprint(report) != _fingerprint(clean):
+            assert diagnostics.degraded()
+
+    @pytest.mark.parametrize("name", ["preemption-storm", "node-failures"])
+    @given(seed=SEEDS)
+    @_PROPERTY_SETTINGS
+    def test_kill_heavy_corpora_survive_random_seeds(
+        self, name, seed, tmp_path_factory, scenario_corpora
+    ):
+        """Hypothesis-placed truncation over the Table I′ kill lines."""
+        corpus, clean = scenario_corpora[name]
+        out = tmp_path_factory.mktemp(f"kill-{name}") / "logs"
+        corrupt_copy(corpus, out, ["truncate-tail"], seed=seed)
+        report = SDChecker().analyze(out)
+        assert report.diagnostics is not None
+        clean_apps = _per_app(clean)
+        mined_apps = _per_app(report)
+        assert set(mined_apps) == set(clean_apps)
+        if _fingerprint(report) != _fingerprint(clean):
+            assert report.diagnostics.degraded()
