@@ -3,7 +3,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-miner bench-live bench-paper examples fuzz-smoke live-smoke live-shard-smoke scenario-smoke lint sanitize clean
+.PHONY: install test bench bench-miner bench-miner-large bench-live bench-paper examples fuzz-smoke live-smoke live-shard-smoke scenario-smoke lint sanitize clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -21,6 +21,13 @@ bench-paper:
 # baseline); appends a trajectory point to benchmarks/results/BENCH_miner.json.
 bench-miner:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_miner_throughput.py -q -s
+
+# Memory-path benchmark at multi-GB scale: generates a seeded corpus
+# straight to disk and times mmap windows vs read(2) vs --jobs 4 over
+# the same bytes.  Size with REPRO_LARGE_MB (default 2048); appends a
+# point to benchmarks/results/BENCH_miner.json.
+bench-miner-large:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_miner_large.py -q -s
 
 # Live-mining ingest + query-latency benchmark; appends a trajectory
 # point to benchmarks/results/BENCH_live.json.

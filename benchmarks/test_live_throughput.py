@@ -91,17 +91,27 @@ def test_live_throughput(scale, tmp_path):
     store.dump(src_dir)
 
     # -- sustained ingest: the corpus arrives over _POLL_ROUNDS polls --
-    live_dir = tmp_path / "growing"
-    live_dir.mkdir()
-    session = LiveSession(live_dir)
-    ingest_seconds = 0.0
-    for _ in _grow_in_rounds(src_dir, live_dir, _POLL_ROUNDS):
+    # Best-of-2 over fresh directories, for the same reason the miner
+    # benchmark times best-of-3: a single pass on a shared runner flaps
+    # by tens of percent, and the floor below is a regression tripwire,
+    # not a lottery.
+    session = live_report = None
+    ingest_seconds = float("inf")
+    for attempt in range(2):
+        live_dir = tmp_path / f"growing-{attempt}"
+        live_dir.mkdir()
+        candidate = LiveSession(live_dir)
+        elapsed = 0.0
+        for _ in _grow_in_rounds(src_dir, live_dir, _POLL_ROUNDS):
+            start = time.perf_counter()
+            candidate.poll()
+            elapsed += time.perf_counter() - start
         start = time.perf_counter()
-        session.poll()
-        ingest_seconds += time.perf_counter() - start
-    start = time.perf_counter()
-    live_report = session.drain()
-    ingest_seconds += time.perf_counter() - start
+        report = candidate.drain()
+        elapsed += time.perf_counter() - start
+        if elapsed < ingest_seconds:
+            ingest_seconds = elapsed
+            session, live_report = candidate, report
     ingest_lps = lines / ingest_seconds if ingest_seconds > 0 else float("inf")
 
     # -- equivalence at benchmark scale ---------------------------------
@@ -148,6 +158,7 @@ def test_live_throughput(scale, tmp_path):
         "mode": mode,
         "corpus_lines": lines,
         "apps": corpus_apps(mode),
+        "cpus": os.cpu_count() or 1,
         "poll_rounds": _POLL_ROUNDS,
         "ingest_lps": round(ingest_lps),
         "query_clients": clients,

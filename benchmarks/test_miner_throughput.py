@@ -342,9 +342,18 @@ def test_miner_throughput(benchmark, scale, tmp_path):
             f"fast path only {fast_speedup:.2f}x over the legacy directory path"
         )
     if mode != "smoke" and cpus >= 2:
-        # Chunk parallelism must scale where there are CPUs to scale
-        # onto; on a single-CPU runner the pool can only lose, and the
-        # recorded point documents that honestly instead.
+        # Chunk parallelism must win outright wherever there is a
+        # second CPU to scale onto; on a single-CPU runner the pool can
+        # only lose, and the recorded point documents that honestly
+        # instead.  The wire-format transfer (repro.core.wire) is what
+        # makes this bar holdable: per-event pickle used to eat the
+        # whole speedup on small corpora.
+        assert parallel_ratio > 1.0, (
+            f"--jobs 4 only {parallel_ratio:.2f}x over the serial fast path"
+        )
+    if mode == "paper" and cpus >= 4:
+        # With all four workers backed by real cores, demand real
+        # scaling, not just a win.
         assert parallel_ratio >= 1.8, (
             f"--jobs 4 only {parallel_ratio:.2f}x over the serial fast path"
         )

@@ -79,13 +79,15 @@ from repro.logsys.record import (
     TimestampMemo,
     classify_head_bytes,
 )
+from repro.core.wire import decode_scan, encode_scan
 from repro.logsys.store import (
     FAST_CHUNK_TARGET,
     FAST_SPLIT_THRESHOLD,
+    ChunkReader,
     LogStore,
     iter_segment_records,
     partition_file,
-    read_chunk,
+    read_chunk_fast,
     stream_segments,
 )
 
@@ -305,36 +307,31 @@ class LogMiner:
         tasks = [chunk for _d, _g, _n, chunks in plans for chunk in chunks]
         if jobs <= 1 or len(tasks) <= 1:
             # Serial: one memo pair spans the whole run, so a timestamp
-            # second or head seen in any stream stays warm for the next.
+            # second or head seen in any stream stays warm for the next;
+            # one ChunkReader maps each file once, and chunks arrive as
+            # zero-copy memoryview windows over the mapped pages.  The
+            # generator keeps at most one chunk's lines materialized.
+            reader = ChunkReader()
             ts_memo = TimestampMemo()
             head_memo: dict = {}
-            scans = [
+            scans = (
                 _scan_chunk(
-                    daemon, gate, read_chunk(path, start, end), ts_memo, head_memo
+                    daemon, gate, reader.chunk(path, start, end), ts_memo, head_memo
                 )
                 for daemon, gate, path, start, end in tasks
-            ]
-        else:
-            workers = min(jobs, len(tasks))
-            chunksize = max(1, len(tasks) // (4 * workers))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                # Executor.map preserves input order: the merge below is
-                # deterministic no matter which worker finishes first.
-                scans = list(
-                    _pool_map(pool, _mine_chunk_task, tasks, chunksize=chunksize)
-                )
-        events: List[SchedulingEvent] = []
-        diagnostics = MiningDiagnostics()
-        cursor = 0
-        for daemon, gate, segments, chunks in plans:
-            stream_scans = scans[cursor : cursor + len(chunks)]
-            cursor += len(chunks)
-            stream_events, stream_diag = _merge_stream_chunks(
-                daemon, gate, segments, stream_scans
             )
-            events.extend(stream_events)
-            diagnostics.streams[daemon] = stream_diag
-        return events, diagnostics
+            return _merge_plans(plans, scans)
+        workers = min(jobs, len(tasks))
+        chunksize = max(1, len(tasks) // (4 * workers))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            # Executor.map preserves input order: the merge is
+            # deterministic no matter which worker finishes first.
+            # Workers return one pickle-free wire blob per chunk
+            # (struct-packed events + interned strings), and the blobs
+            # are decoded lazily as the merge consumes them — the
+            # parent stitches chunk N while workers still scan N+1.
+            blobs = _pool_map(pool, _mine_chunk_task, tasks, chunksize=chunksize)
+            return _merge_plans(plans, (decode_scan(blob) for blob in blobs))
 
     # -- stream enumeration ------------------------------------------------
     def _stream_tasks(self, source: Union[LogStore, str, Path]) -> List[_StreamTask]:
@@ -541,10 +538,46 @@ def _mine_stream_task(
     return events, diagnostics
 
 
+#: Block size for materializing a mapped memoryview's lines: big enough
+#: that per-block overhead vanishes, small enough that the transient
+#: beyond the line objects themselves is ~1 MiB.
+_SCAN_BLOCK = 1 << 20
+
+
+def _split_view_lines(view: memoryview) -> List[bytes]:
+    """The lines of an mmap-backed chunk window, materialized blockwise.
+
+    Equivalent to ``bytes(view).split(b"\\n")`` with the trailing
+    terminator popped, minus the whole-window intermediate copy: line
+    objects are built in :data:`_SCAN_BLOCK`-sized blocks straight from
+    the mapped pages, so each line's bytes are copied exactly once
+    (page cache → line object) and only the block-straddling partial
+    line (the carry) is ever re-copied.
+    """
+    view = memoryview(view)
+    total = view.nbytes
+    lines: List[bytes] = []
+    extend = lines.extend
+    carry = b""
+    position = 0
+    while position < total:
+        stop = min(position + _SCAN_BLOCK, total)
+        block = bytes(view[position:stop])
+        position = stop
+        if carry:
+            block = carry + block
+        split = block.split(b"\n")
+        carry = split.pop()  # partial last line (b"" on a newline cut)
+        extend(split)
+    if carry:  # the file's unterminated tail line
+        lines.append(carry)
+    return lines
+
+
 def _scan_chunk(
     daemon: str,
     gate: Optional[str],
-    buf: bytes,
+    buf: Union[bytes, memoryview],
     ts_memo: Optional[TimestampMemo] = None,
     head_memo: Optional[dict] = None,
 ) -> Tuple[List[tuple], Tuple[int, ...], Optional[tuple], Optional[tuple]]:
@@ -571,9 +604,14 @@ def _scan_chunk(
         ts_memo = TimestampMemo()
     if head_memo is None:
         head_memo = {}
-    lines = buf.split(b"\n")
-    if lines and lines[-1] == b"":
-        lines.pop()  # terminator of the final line, not an empty line
+    if type(buf) is bytes:
+        lines = buf.split(b"\n")
+        if lines and lines[-1] == b"":
+            lines.pop()  # terminator of the final line, not an empty line
+    else:
+        # An mmap-backed chunk window: lines come straight off the
+        # mapped pages, no whole-buffer bytes copy in between.
+        lines = _split_view_lines(buf)
     events: List[tuple] = []
     parsed = garbled = bad_ts = replacements = dups = ooo = 0
     # State of the previous *parsed* record for the duplicate /
@@ -834,12 +872,17 @@ def _scan_chunk(
     return events, counters, first_key, last_key
 
 
-def _mine_chunk_task(
-    task: _ChunkTask,
-) -> Tuple[List[tuple], Tuple[int, ...], Optional[tuple], Optional[tuple]]:
-    """Worker entry point: read and scan one chunk (module-level for pickling)."""
+def _mine_chunk_task(task: _ChunkTask) -> bytes:
+    """Worker entry point: read, scan, and wire-encode one chunk.
+
+    Module-level for pickling.  The chunk is read through the
+    mmap-backed window (falling back to ``read()`` where unmappable)
+    and the scan crosses the process boundary as one flat
+    :func:`~repro.core.wire.encode_scan` blob — no per-tuple pickling,
+    no repeated strings — which the parent decodes during the merge.
+    """
     daemon, gate, path, start, end = task
-    return _scan_chunk(daemon, gate, read_chunk(path, start, end))
+    return encode_scan(_scan_chunk(daemon, gate, read_chunk_fast(path, start, end)))
 
 
 class StreamEventAccumulator:
@@ -1018,6 +1061,31 @@ def _merge_stream_chunks(
     for scan in scans:
         acc.absorb(scan)
     return acc.events(), acc.diagnostics()
+
+
+def _merge_plans(
+    plans: List[Tuple[str, Optional[str], int, List[_ChunkTask]]],
+    scans: Iterable[tuple],
+) -> Tuple[List[SchedulingEvent], MiningDiagnostics]:
+    """The deterministic merge, consuming scans as a stream.
+
+    ``scans`` yields one scan per chunk in plan order (Executor.map
+    preserves submission order, so this holds for the parallel path
+    too).  Consuming lazily means the parent absorbs and rehydrates
+    chunk N while later chunks are still being scanned — merge work
+    overlaps scan work instead of waiting behind a fully materialized
+    result list.
+    """
+    scans = iter(scans)
+    events: List[SchedulingEvent] = []
+    diagnostics = MiningDiagnostics()
+    for daemon, gate, segments, chunks in plans:
+        acc = StreamEventAccumulator(daemon, gate, segments=segments)
+        for _chunk in chunks:
+            acc.absorb(next(scans))
+        events.extend(acc.events())
+        diagnostics.streams[daemon] = acc.diagnostics()
+    return events, diagnostics
 
 
 def available_cpus() -> int:

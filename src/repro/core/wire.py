@@ -1,0 +1,143 @@
+"""Pickle-free worker→parent transfer of chunk scan results.
+
+The fast path's parallel branch ships each chunk's
+:func:`~repro.core.parser._scan_chunk` result back to the parent.
+Pickling the per-chunk list of event tuples is what used to eat the
+parallel speedup: every tuple pays pickle's per-object dispatch, every
+string is serialized as many times as it occurs, and the parent
+deserializes object-by-object while workers wait on the result queue.
+
+This module replaces that with one flat ``bytes`` blob per chunk:
+
+* a fixed little-endian header with the seven diagnostics counters;
+* an **interned string table** — every distinct string (app IDs,
+  container IDs, source classes, boundary-key levels/classes/messages)
+  is encoded once as length-prefixed UTF-8 and referenced by index, so
+  a chunk with 10k events over 40 containers serializes ~40 strings,
+  not ~30k;
+* ``struct``-packed fixed-width records for the boundary keys and the
+  event tuples (event kinds are one byte: an index into the stable
+  :class:`~repro.core.events.EventKind` definition order).
+
+``decode_scan(encode_scan(scan))`` reproduces the scan exactly —
+timestamps round-trip bit-for-bit through IEEE-754 doubles, and decoded
+events share one ``str`` object per distinct table entry, which also
+makes the parent-side merge cheaper than pickle's fresh strings.  The
+blob crosses the process boundary as a single opaque ``bytes`` (pickle
+treats it as one memcpy), so no project class — and none of the SD502
+process-boundary contract surface — is ever serialized.  A
+``multiprocessing.shared_memory`` hand-off was considered and rejected:
+one bytes blob per ~4 MiB chunk is a single copy already, and shared
+segments would add lifecycle cleanup (unlink-on-crash) for no fewer
+copies.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional, Tuple
+
+from repro.core.events import EventKind
+
+__all__ = ["WIRE_VERSION", "encode_scan", "decode_scan"]
+
+#: Bumped whenever the layout changes; decode refuses other versions
+#: (a version skew across a worker pool would corrupt silently).
+WIRE_VERSION = 1
+
+#: Stable kind numbering: EventKind definition order.  Workers and the
+#: parent run the same code, so the table is identical on both sides.
+_KIND_VALUES: Tuple[str, ...] = tuple(kind.value for kind in EventKind)
+_KIND_INDEX = {value: index for index, value in enumerate(_KIND_VALUES)}
+assert len(_KIND_VALUES) < 256, "EventKind outgrew the one-byte wire index"
+
+#: version u8, counters 7×u64, flags u8 (bit0: first_key present,
+#: bit1: last_key present), string count u32, event count u32.
+_HEADER = struct.Struct("<B7QBII")
+#: Boundary key: ts f64, level/cls/message string refs u32.
+_KEY = struct.Struct("<dIII")
+#: Event: kind u8, ts f64, app/container/source_class string refs u32
+#: (ref 0 is None; table entries are 1-based).
+_EVENT = struct.Struct("<BdIII")
+_LEN = struct.Struct("<I")
+
+
+def encode_scan(scan: tuple) -> bytes:
+    """One :func:`_scan_chunk` result as a flat wire blob."""
+    events, counters, first_key, last_key = scan
+    strings: List[str] = []
+    index: dict = {}
+
+    def ref(value: Optional[str]) -> int:
+        if value is None:
+            return 0
+        slot = index.get(value)
+        if slot is None:
+            strings.append(value)
+            slot = index[value] = len(strings)
+        return slot
+
+    body = bytearray()
+    flags = 0
+    for bit, key in ((1, first_key), (2, last_key)):
+        if key is not None:
+            flags |= bit
+            ts, level, cls, message = key
+            body += _KEY.pack(ts, ref(level), ref(cls), ref(message))
+    pack_event = _EVENT.pack
+    for kind_value, ts, app_id, container_id, source_class in events:
+        body += pack_event(
+            _KIND_INDEX[kind_value],
+            ts,
+            ref(app_id),
+            ref(container_id),
+            ref(source_class),
+        )
+    table = bytearray()
+    for value in strings:
+        raw = value.encode("utf-8")
+        table += _LEN.pack(len(raw))
+        table += raw
+    header = _HEADER.pack(
+        WIRE_VERSION, *counters, flags, len(strings), len(events)
+    )
+    return b"".join((header, bytes(table), bytes(body)))
+
+
+def decode_scan(blob: bytes) -> tuple:
+    """Inverse of :func:`encode_scan`: the original scan tuple.
+
+    Strings are decoded once per table entry and shared by every event
+    referencing them, so a decoded chunk holds one ``str`` per distinct
+    app/container/class — interning the parent would otherwise redo.
+    """
+    header = _HEADER.unpack_from(blob, 0)
+    version = header[0]
+    if version != WIRE_VERSION:
+        raise ValueError(f"unsupported scan wire version {version!r}")
+    counters = header[1:8]
+    flags, string_count, event_count = header[8], header[9], header[10]
+    offset = _HEADER.size
+    table: List[Optional[str]] = [None]  # ref 0 is None
+    for _ in range(string_count):
+        (length,) = _LEN.unpack_from(blob, offset)
+        offset += _LEN.size
+        table.append(blob[offset : offset + length].decode("utf-8"))
+        offset += length
+    first_key = last_key = None
+    if flags & 1:
+        ts, level, cls, message = _KEY.unpack_from(blob, offset)
+        offset += _KEY.size
+        first_key = (ts, table[level], table[cls], table[message])
+    if flags & 2:
+        ts, level, cls, message = _KEY.unpack_from(blob, offset)
+        offset += _KEY.size
+        last_key = (ts, table[level], table[cls], table[message])
+    events: List[tuple] = []
+    emit = events.append
+    kind_values = _KIND_VALUES
+    for kind, ts, app, container, source in _EVENT.iter_unpack(
+        blob[offset : offset + event_count * _EVENT.size]
+    ):
+        emit((kind_values[kind], ts, table[app], table[container], table[source]))
+    return events, counters, first_key, last_key

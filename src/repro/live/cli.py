@@ -76,6 +76,17 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="restore a previous session from a checkpoint file",
     )
     watch.add_argument(
+        "--checkpoint-every-polls",
+        type=int,
+        default=8,
+        metavar="N",
+        help=(
+            "write the checkpoint every N polls instead of every poll; "
+            "a crash loses at most N-1 polls of cursor progress "
+            "(default 8)"
+        ),
+    )
+    watch.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON"
     )
 
@@ -97,6 +108,9 @@ def build_arg_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--checkpoint", metavar="PATH")
     serve.add_argument("--resume", metavar="PATH")
+    serve.add_argument(
+        "--checkpoint-every-polls", type=int, default=8, metavar="N"
+    )
     serve.add_argument(
         "--shards",
         type=int,
@@ -151,15 +165,22 @@ def build_arg_parser() -> argparse.ArgumentParser:
 
 def _build_session(args: argparse.Namespace) -> LiveSession:
     evict = getattr(args, "evict_after_polls", None)
+    every = getattr(args, "checkpoint_every_polls", 1)
+    if every < 1:
+        raise SystemExit("error: --checkpoint-every-polls must be >= 1")
     if args.resume:
         return LiveSession.from_checkpoint(
             args.resume,
             directory=args.logdir,
             checkpoint_path=args.checkpoint or args.resume,
             evict_after_polls=evict,
+            checkpoint_every_polls=every,
         )
     return LiveSession(
-        args.logdir, checkpoint_path=args.checkpoint, evict_after_polls=evict
+        args.logdir,
+        checkpoint_path=args.checkpoint,
+        evict_after_polls=evict,
+        checkpoint_every_polls=every,
     )
 
 

@@ -188,6 +188,7 @@ class LiveSession:
         checkpoint_path: Optional[str | Path] = None,
         registry: Optional[MetricsRegistry] = None,
         evict_after_polls: Optional[int] = None,
+        checkpoint_every_polls: int = 1,
     ):
         if isinstance(directory, (str, Path)):
             directories: List[Path] = [Path(directory)]
@@ -199,11 +200,32 @@ class LiveSession:
         self.checkpoint_path = (
             Path(checkpoint_path) if checkpoint_path is not None else None
         )
+        if checkpoint_every_polls < 1:
+            raise ValueError("checkpoint_every_polls must be a positive poll count")
+        #: Checkpoint write cadence: 1 persists after every poll (the
+        #: strictest durability), N amortizes the full-state JSON write
+        #: over N polls — ``drain`` and :meth:`save_checkpoint` always
+        #: write immediately, so at most N-1 polls of progress are
+        #: re-tailed after a crash (cursors and miner state are saved
+        #: together, so a resume is consistent, just older).
+        self.checkpoint_every_polls = checkpoint_every_polls
+        self._polls_since_checkpoint = 0
         self.tailers: List[DirectoryTailer] = [
             DirectoryTailer(path) for path in self.directories
         ]
         self.miner = LiveMiner()
         self.metrics = registry if registry is not None else build_live_registry()
+        # Per-poll counter handles, bound once: name-hashing four
+        # registry lookups per chunk was measurable at poll rates.
+        self._lines_counter = self.metrics.counter("repro_live_ingest_lines_total")
+        self._records_counter = self.metrics.counter(
+            "repro_live_ingest_records_total"
+        )
+        self._dropped_counter = self.metrics.counter("repro_live_dropped_lines_total")
+        self._events_counter = self.metrics.counter("repro_live_events_total")
+        self._polls_counter = self.metrics.counter("repro_live_polls_total")
+        self._lag_gauge = self.metrics.gauge("repro_live_tail_lag_bytes")
+        self._streams_gauge = self.metrics.gauge("repro_live_streams")
         if evict_after_polls is not None and evict_after_polls < 1:
             raise ValueError("evict_after_polls must be a positive poll count")
         #: Polls an app may stay resident after finality; None disables
@@ -212,6 +234,13 @@ class LiveSession:
         self.evict_after_polls = evict_after_polls
         #: Apps whose terminal transition has been mined.
         self._final_apps: Set[str] = set()
+        #: Newly final apps whose delay components have not yet been
+        #: observed into the metrics histograms.  Observation needs a
+        #: built report; deferring it to the next :meth:`report` (or
+        #: metrics render) means a poll that finalizes apps no longer
+        #: pays a full analysis rebuild inline — the single largest
+        #: cost in the live ingest profile.
+        self._pending_component_apps: List[str] = []
         #: app -> poll counter value at which it became final.
         self._final_at: Dict[str, int] = {}
         #: Apps evicted by the TTL policy (never resurrected).
@@ -296,13 +325,14 @@ class LiveSession:
             chunk_lists.append(tailer.drain())
         self._ingest(self._collect(chunk_lists))
         self.drained = True
-        self._checkpoint()
+        self._checkpoint(force=True)
         return self.report()
 
     def _ingest(self, chunks: List[TailChunk]) -> int:
         new_events = 0
         changed = False
-        touched_apps: Set[str] = set()
+        lines = records = dropped = 0
+        finished_apps: Set[str] = set()
         for chunk in chunks:
             if not chunk.data:
                 # Even a silent stream changes the ledger the first
@@ -313,50 +343,58 @@ class LiveSession:
                 self.miner.ensure_stream(chunk.daemon, chunk.segments)
                 continue
             changed = True
-            accepted, counters, touched = self.miner.feed(
+            accepted, counters, _touched = self.miner.feed(
                 chunk.daemon, chunk.data, chunk.segments
             )
             new_events += len(accepted)
-            touched_apps |= touched
-            self.metrics.counter("repro_live_ingest_lines_total").inc(counters[0])
-            self.metrics.counter("repro_live_ingest_records_total").inc(counters[1])
-            self.metrics.counter("repro_live_dropped_lines_total").inc(
-                counters[2] + counters[3]
-            )
-            self.metrics.counter("repro_live_events_total").inc(len(accepted))
+            lines += counters[0]
+            records += counters[1]
+            dropped += counters[2] + counters[3]
             for event in accepted:
                 if event[0] == _APP_FINISHED_VALUE and event[2] is not None:
-                    touched_apps.add(event[2])
+                    finished_apps.add(event[2])
         if changed:
             self.revision += 1
+        if lines:
+            self._lines_counter.inc(lines)
+        if records:
+            self._records_counter.inc(records)
+        if dropped:
+            self._dropped_counter.inc(dropped)
+        if new_events:
+            self._events_counter.inc(new_events)
         self._poll_count += 1
-        self.metrics.counter("repro_live_polls_total").inc()
-        self.metrics.gauge("repro_live_tail_lag_bytes").set(self.tail_lag_bytes)
-        self.metrics.gauge("repro_live_streams").set(len(self.miner.streams))
-        self._upgrade_finished_apps(touched_apps)
+        self._polls_counter.inc()
+        self._lag_gauge.set(self.tail_lag_bytes)
+        self._streams_gauge.set(len(self.miner.streams))
+        self._upgrade_finished_apps(finished_apps)
         self._evict_expired()
+        self._polls_since_checkpoint += 1
         self._checkpoint()
         return new_events
 
-    def _upgrade_finished_apps(self, touched_apps: Set[str]) -> None:
-        """Provisional -> final upgrades for apps whose terminal arrived."""
-        newly_final: List[str] = []
-        for daemon in sorted(self.miner.streams):
-            acc = self.miner.streams[daemon]
-            for event in acc.compact:
-                if (
-                    event[0] == _APP_FINISHED_VALUE
-                    and event[2] is not None
-                    and event[2] not in self._final_apps
-                ):
-                    self._final_apps.add(event[2])
-                    self._final_at[event[2]] = self._poll_count
-                    newly_final.append(event[2])
+    def _upgrade_finished_apps(self, finished_apps: Set[str]) -> None:
+        """Provisional -> final upgrades for apps whose terminal arrived.
+
+        ``finished_apps`` is collected from this poll's *accepted*
+        ``APP_FINISHED`` tuples — terminals absorbed before a
+        checkpoint resume are already in ``_final_apps`` — so finality
+        tracking costs O(new events), not a rescan of every stream's
+        accumulated event list per poll.
+        """
+        newly_final = sorted(
+            app_id
+            for app_id in finished_apps
+            if app_id not in self._final_apps
+        )
+        for app_id in newly_final:
+            self._final_apps.add(app_id)
+            self._final_at[app_id] = self._poll_count
         self.metrics.gauge("repro_live_apps_final").set(
             len(self._final_apps - self._evicted_apps)
         )
         if newly_final:
-            self._observe_final_components(sorted(newly_final))
+            self._pending_component_apps.extend(newly_final)
 
     def _evict_expired(self) -> None:
         """TTL policy: drop apps final for ``evict_after_polls`` polls.
@@ -388,15 +426,20 @@ class LiveSession:
         self.metrics.counter("repro_live_apps_evicted_total").inc(len(expired))
         self.metrics.gauge("repro_live_streams").set(len(self.miner.streams))
 
-    def _observe_final_components(self, app_ids: List[str]) -> None:
+    def _observe_final_components(
+        self, report: AnalysisReport, app_ids: List[str]
+    ) -> None:
         """Feed a newly final app's delay components into the histograms.
 
-        Observed once per app, at the provisional->final upgrade: the
-        operational view of the paper's per-component decomposition.
-        (The analytical truth remains the report — events that straggle
-        in from other streams after finality still update it.)
+        Observed once per app, after its provisional->final upgrade:
+        the operational view of the paper's per-component
+        decomposition.  Observation is *deferred* — it queues at the
+        upgrade and runs against the next report actually built (a
+        query, a metrics render, the drain), so a quiet poll loop
+        never rebuilds the analysis just to fill histograms.  (The
+        analytical truth remains the report — events that straggle in
+        from other streams after finality still update it.)
         """
-        report = self.report()
         by_id = {app.app_id: app for app in report.apps}
         histogram = self.metrics.histogram("repro_live_component_delay_seconds")
         for app_id in app_ids:
@@ -418,16 +461,34 @@ class LiveSession:
         """The canonical analysis over everything mined so far (cached)."""
         cached = self._report_cache
         if cached is not None and cached[0] == self.revision:
-            return cached[1]
-        events = self.miner.events()
-        if self._evicted_apps:
-            # Stragglers mined for an already-evicted app (late lines in
-            # a shared daemon log) must not resurrect it half-analyzed.
-            events = [e for e in events if e.app_id not in self._evicted_apps]
-        report = analyze_events(events, self.miner.diagnostics())
-        self._report_cache = (self.revision, report)
-        self.metrics.gauge("repro_live_apps").set(len(report.apps))
+            report = cached[1]
+        else:
+            events = self.miner.events()
+            if self._evicted_apps:
+                # Stragglers mined for an already-evicted app (late
+                # lines in a shared daemon log) must not resurrect it
+                # half-analyzed.
+                events = [e for e in events if e.app_id not in self._evicted_apps]
+            report = analyze_events(events, self.miner.diagnostics())
+            self._report_cache = (self.revision, report)
+            self.metrics.gauge("repro_live_apps").set(len(report.apps))
+        if self._pending_component_apps:
+            pending = sorted(set(self._pending_component_apps))
+            self._pending_component_apps = []
+            self._observe_final_components(report, pending)
         return report
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition, pending observations flushed."""
+        if self._pending_component_apps:
+            self.report()
+        return self.metrics.render()
+
+    def metrics_state(self) -> dict:
+        """The registry's mergeable state, pending observations flushed."""
+        if self._pending_component_apps:
+            self.report()
+        return self.metrics.to_state()
 
     def app_status(self, app_id: str) -> str:
         return "final" if app_id in self._final_apps else "provisional"
@@ -485,9 +546,13 @@ class LiveSession:
         }
 
     # -- checkpoint / resume -----------------------------------------------
-    def _checkpoint(self) -> None:
-        if self.checkpoint_path is not None:
-            self.save_checkpoint(self.checkpoint_path)
+    def _checkpoint(self, force: bool = False) -> None:
+        if self.checkpoint_path is None:
+            return
+        if not force and self._polls_since_checkpoint < self.checkpoint_every_polls:
+            return
+        self.save_checkpoint(self.checkpoint_path)
+        self._polls_since_checkpoint = 0
 
     def save_checkpoint(self, path: str | Path) -> Path:
         """Atomically persist cursors + mining state + app finality."""
@@ -522,6 +587,7 @@ class LiveSession:
         registry: Optional[MetricsRegistry] = None,
         checkpoint_path: Optional[str | Path] = None,
         evict_after_polls: Optional[int] = None,
+        checkpoint_every_polls: int = 1,
     ) -> "LiveSession":
         """Rebuild a session from a checkpoint file and keep tailing.
 
@@ -545,6 +611,7 @@ class LiveSession:
             checkpoint_path=checkpoint_path,
             registry=registry,
             evict_after_polls=evict_after_polls,
+            checkpoint_every_polls=checkpoint_every_polls,
         )
         tailer_states = state.get("tailers")
         if tailer_states is None:

@@ -280,13 +280,15 @@ class LiveServer(JsonLineServer):
                 "op": op,
                 "result": self.session.diagnostics_payload(),
             }
+        # metrics go through the session wrappers so deferred
+        # component-delay observations are flushed before rendering.
         if op == "metrics":
-            return {"ok": True, "op": op, "result": self.session.metrics.render()}
+            return {"ok": True, "op": op, "result": self.session.metrics_text()}
         if op == "metrics_state":
             return {
                 "ok": True,
                 "op": op,
-                "result": self.session.metrics.to_state(),
+                "result": self.session.metrics_state(),
             }
         if op == "state":
             return {"ok": True, "op": op, "result": self.session.state_payload()}

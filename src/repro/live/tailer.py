@@ -42,11 +42,13 @@ batch reader would produce over the final directory.
 from __future__ import annotations
 
 import hashlib
+import os
 from dataclasses import dataclass
 from pathlib import Path
+from stat import S_ISREG
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro.logsys.store import _SEGMENT_RE, tail_chunk
+from repro.logsys.store import _SEGMENT_RE
 
 __all__ = [
     "DirectoryTailer",
@@ -99,18 +101,20 @@ class SegmentCursor:
         self.fp_len = min(FINGERPRINT_BYTES, len(head))
         self.fp = hashlib.sha1(head[: self.fp_len]).hexdigest()
 
-    def head_changed(self, path: Path) -> bool:
-        """True when the on-disk head no longer matches the fingerprint."""
+    def head_changed(self, head: bytes) -> bool:
+        """True when the file's head no longer matches the fingerprint.
+
+        ``head`` is the file's first ``fp_len`` bytes, read off the
+        data read's already-open descriptor so the per-poll recreation
+        check shares that single open instead of paying its own — the
+        check itself cannot be skipped on any poll: a same-size
+        same-inode rewrite is invisible to every stat-based heuristic.
+        """
         if self.fp is None:
             return False
-        try:
-            with open(path, "rb") as handle:
-                head = handle.read(self.fp_len)
-        except OSError:
-            return False  # vanished mid-poll; the caller finalizes it
         if len(head) < self.fp_len:
             return True  # shrunk below the fingerprinted head
-        return hashlib.sha1(head).hexdigest() != self.fp
+        return hashlib.sha1(head[: self.fp_len]).hexdigest() != self.fp
 
     def resync(self) -> None:
         """Start over from byte 0 (truncation or recreation detected)."""
@@ -211,31 +215,66 @@ class StreamTailer:
                 cursor.final = True
                 continue
             name, size = entry
-            path = name_path(cursor, by_inode)
-            if Path(name).name == live_name:
-                if size < cursor.offset or cursor.head_changed(path):
-                    # Truncation, or a writer that recreated the file on
-                    # the same inode (the head no longer matches, even
-                    # though the new content may already be larger than
-                    # the old offset): start over from byte 0.
-                    self.resyncs += 1
-                    cursor.resync()
-                consumed_from_zero = cursor.offset == 0
-                buf, cursor.offset = tail_chunk(path, cursor.offset, size)
+            if os.path.basename(name) == live_name:
+                buf = self._advance_live(cursor, name, size)
                 if buf:
-                    if consumed_from_zero:
-                        cursor.fingerprint(buf)
                     out.append(buf)
                 lag += size - cursor.offset
             else:
                 # Rotated: closed for writing — read to EOF, tail and all.
-                buf = _read_to_eof(path, cursor.offset)
+                buf = _read_to_eof(name, cursor.offset)
                 cursor.offset += len(buf)
                 cursor.final = True
                 if buf:
                     out.append(_normalized(buf))
         self.lag_bytes = lag
         return b"".join(out)
+
+    def _advance_live(self, cursor: SegmentCursor, name: str, size: int) -> bytes:
+        """Consume the live file's new complete lines, in **one** open.
+
+        Folds the per-poll head-fingerprint recreation check and the
+        complete-line tail read (``tail_chunk``'s protocol) into a
+        single file open — the two separate opens per stream per poll
+        were a measurable slice of live ingest cost.  The check still
+        runs on *every* poll, even when ``size == offset``: a same-size
+        same-inode rewrite is exactly the case the fingerprint exists
+        for.
+        """
+        if cursor.fp is None and size <= cursor.offset:
+            return b""  # nothing to check against, nothing to read
+        try:
+            fd = os.open(name, os.O_RDONLY)
+        except OSError:
+            return b""  # vanished mid-poll; the next listing finalizes it
+        try:
+            # Raw-fd pread: the hot loop pays one descriptor and two
+            # positioned reads per stream per poll, with no buffered
+            # reader object in between.
+            head = os.pread(fd, cursor.fp_len, 0) if cursor.fp is not None else b""
+            if size < cursor.offset or cursor.head_changed(head):
+                # Truncation, or a writer that recreated the file on
+                # the same inode (the head no longer matches, even
+                # though the new content may already be larger than
+                # the old offset): start over from byte 0.
+                self.resyncs += 1
+                cursor.resync()
+            if size <= cursor.offset:
+                return b""
+            consumed_from_zero = cursor.offset == 0
+            buf = os.pread(fd, size - cursor.offset, cursor.offset)
+        finally:
+            os.close(fd)
+        # Hold back the trailing partial line — bytes after the last
+        # newline are a record the writer may still be mid-way through.
+        newline_at = buf.rfind(b"\n")
+        if newline_at < 0:
+            return b""
+        buf = buf[: newline_at + 1]
+        cursor.offset += newline_at + 1
+        if consumed_from_zero:
+            cursor.fingerprint(buf)
+        return buf
 
     def flush(self, listing: List[Tuple[str, int, int]]) -> bytes:
         """Drain: surrender every held-back byte, unterminated tails included."""
@@ -247,14 +286,22 @@ class StreamTailer:
             if cursor.final or cursor.inode not in by_inode:
                 cursor.final = True
                 continue
-            path = name_path(cursor, by_inode)
-            if cursor.head_changed(path):
-                # Recreated between the final poll and the drain flush
-                # (or while a checkpointed session was down): re-sync so
-                # the flush reads the new incarnation whole.
-                self.resyncs += 1
-                cursor.resync()
-            buf = _read_to_eof(path, cursor.offset)
+            name = by_inode[cursor.inode][0]
+            try:
+                handle = open(name, "rb")
+            except OSError:
+                cursor.final = True
+                continue
+            with handle:
+                if cursor.head_changed(handle.read(cursor.fp_len)):
+                    # Recreated between the final poll and the drain
+                    # flush (or while a checkpointed session was down):
+                    # re-sync so the flush reads the new incarnation
+                    # whole.
+                    self.resyncs += 1
+                    cursor.resync()
+                handle.seek(cursor.offset)
+                buf = handle.read()
             cursor.offset += len(buf)
             cursor.final = True
             if buf:
@@ -282,23 +329,7 @@ class StreamTailer:
         return tailer
 
 
-def name_path(
-    cursor: SegmentCursor, by_inode: Dict[int, Tuple[str, int]]
-) -> Path:
-    """Resolve a cursor's current on-disk path from the poll's inode map.
-
-    The map is built once per :meth:`StreamTailer.advance`/``flush`` —
-    resolving each cursor is O(1) instead of a rescan of the whole
-    listing per cursor — with the stale ``cursor.name`` kept as the
-    fallback for inodes that vanished from the listing mid-poll.
-    """
-    entry = by_inode.get(cursor.inode)
-    if entry is not None:
-        return Path(entry[0])
-    return Path(cursor.name)
-
-
-def _read_to_eof(path: Path, offset: int) -> bytes:
+def _read_to_eof(path: str, offset: int) -> bytes:
     try:
         with open(path, "rb") as handle:
             handle.seek(offset)
@@ -319,26 +350,49 @@ class DirectoryTailer:
         #: re-accumulating it on the next scan.
         self.evicted: Set[str] = set()
         self.drained = False
+        #: name -> (daemon, index, full path) for segment-pattern
+        #: matches, None for non-matching names.  A name's parse never
+        #: changes, so the per-poll listing pays the regex and the path
+        #: rendering once per distinct name, not once per poll.
+        self._name_meta: Dict[str, Optional[Tuple[str, int, str]]] = {}
 
     # -- directory scanning ------------------------------------------------
     def _listing(self) -> Dict[str, List[Tuple[str, int, int]]]:
-        """daemon -> [(absolute name, inode, size)] in chronological order."""
+        """daemon -> [(name, inode, size)] in chronological order.
+
+        One ``stat`` per matching file: the segment-name match runs on
+        the entry name first, and a single ``stat`` answers regularity,
+        inode, and size together — the previous version paid two
+        ``stat`` calls per file per poll (``is_file`` plus ``stat``).
+        """
         groups: Dict[str, List[Tuple[int, str, int, int]]] = {}
-        if not self.directory.is_dir():
-            return {}
-        for path in self.directory.iterdir():
-            m = _SEGMENT_RE.match(path.name)
-            if m is None:
+        try:
+            paths = list(self.directory.iterdir())
+        except OSError:
+            return {}  # directory missing (or not a directory yet)
+        meta_cache = self._name_meta
+        for path in paths:
+            name = path.name
+            meta = meta_cache.get(name, False)
+            if meta is False:
+                m = _SEGMENT_RE.match(name)
+                if m is None:
+                    meta = None
+                else:
+                    index = -1 if m["index"] is None else int(m["index"])
+                    meta = (m["daemon"], index, str(path))
+                meta_cache[name] = meta
+            if meta is None:
                 continue
             try:
                 stat = path.stat()
             except OSError:
                 continue  # raced with a rename/delete; next poll sees it
-            if not path.is_file():
+            if not S_ISREG(stat.st_mode):
                 continue
-            index = -1 if m["index"] is None else int(m["index"])
-            groups.setdefault(m["daemon"], []).append(
-                (index, str(path), stat.st_ino, stat.st_size)
+            daemon, index, full = meta
+            groups.setdefault(daemon, []).append(
+                (index, full, stat.st_ino, stat.st_size)
             )
         out: Dict[str, List[Tuple[str, int, int]]] = {}
         for daemon in sorted(groups):

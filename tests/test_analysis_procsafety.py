@@ -199,6 +199,19 @@ class TestSD502SlotsContract:
         ) + self.TAIL
         assert rules_of({"repro/s.py": source}) == []
 
+    def test_bytes_wire_blob_return_is_clean(self):
+        # The miner's workers ship encoded wire blobs (plain ``bytes``)
+        # across the pool boundary — a builtin return type must never
+        # trip the slots-contract rule.
+        source = _POOL_IMPORT + self.BARE + (
+            "def work(task) -> bytes:\n"
+            "    return bytes(task)\n"
+            "def run_all(tasks):\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return list(pool.map(work, tasks))\n"
+        )
+        assert rules_of({"repro/s.py": source}) == []
+
     def test_class_not_crossing_the_boundary_is_ignored(self):
         source = _POOL_IMPORT + self.BARE + (
             "def work(task) -> int:\n"
