@@ -3,7 +3,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-miner bench-miner-large bench-live bench-paper examples fuzz-smoke live-smoke live-shard-smoke scenario-smoke lint sanitize clean
+.PHONY: install test bench bench-miner bench-miner-large bench-live bench-calibrate bench-paper examples fuzz-smoke live-smoke live-shard-smoke scenario-smoke calibrate-smoke lint sanitize clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -54,6 +54,18 @@ live-shard-smoke:
 scenario-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.experiments scenario --list
 	PYTHONPATH=src $(PYTHON) -m pytest "tests/test_scenarios_golden.py::TestSnapshots::test_matches_snapshot[autoscale-out]" "tests/test_scenarios_golden.py::TestSnapshots::test_parallel_mining_is_byte_identical[autoscale-out]" tests/test_scenarios_golden.py::TestCLI -q
+
+# Calibration smoke: a tiny self-fit on diurnal-burst (the baseline
+# trial must score exactly 0), the golden fitted-model byte pin, and
+# the whatif/predict CLI round-trip.
+calibrate-smoke:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/test_calibrate_cli.py tests/test_calibrate_fit.py::TestSelfFit tests/test_calibrate_fit.py::TestGoldenFit -q
+
+# Calibration trial throughput (trials/s, serial vs --jobs) with the
+# CPU-gated parallel-speedup assertion; appends a trajectory point to
+# benchmarks/results/BENCH_calibrate.json.
+bench-calibrate:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_calibrate_throughput.py -q -s
 
 # Seeded corruption sweep over the golden corpus: every catalog
 # corruption x seed must leave analyze() crash-free, and the

@@ -1,0 +1,69 @@
+"""Calibration & what-if engine for the simulated testbed.
+
+Fits :class:`~repro.params.SimulationParams` knobs to a mined
+scheduling-delay decomposition (any log corpus, or a scenario preset's
+own output) via a seeded grid + random search fanned out over worker
+processes, and answers counterfactual queries — "what if the cluster
+ran the Opportunistic scheduler?", "what if the NM heartbeat were
+halved?" — from the resulting fitted model.
+
+Entry points: :func:`fit` / :func:`predict` / :func:`whatif`, or
+``python -m repro.calibrate {fit,predict,whatif}`` on the command line.
+"""
+
+from repro.calibrate.objective import (
+    COMPONENTS,
+    DEFAULT_WEIGHTS,
+    ComponentStats,
+    TargetDecomposition,
+    TrialResult,
+    apply_overrides,
+    component_error,
+    component_sample,
+    evaluate_candidate,
+    mine_scenario,
+)
+from repro.calibrate.search import (
+    ARTIFACT_FORMAT,
+    ARTIFACT_VERSION,
+    FittedModel,
+    fit,
+    resolve_fit_jobs,
+    self_target,
+)
+from repro.calibrate.space import (
+    DEFAULT_SPACE,
+    SCHEDULER_CHOICES,
+    SCHEDULER_KNOB,
+    Knob,
+    ParameterSpace,
+)
+from repro.calibrate.whatif import QUANTILES, WhatIfAnswer, predict, whatif
+
+__all__ = [
+    "ARTIFACT_FORMAT",
+    "ARTIFACT_VERSION",
+    "COMPONENTS",
+    "DEFAULT_SPACE",
+    "DEFAULT_WEIGHTS",
+    "ComponentStats",
+    "FittedModel",
+    "Knob",
+    "ParameterSpace",
+    "QUANTILES",
+    "SCHEDULER_CHOICES",
+    "SCHEDULER_KNOB",
+    "TargetDecomposition",
+    "TrialResult",
+    "WhatIfAnswer",
+    "apply_overrides",
+    "component_error",
+    "component_sample",
+    "evaluate_candidate",
+    "fit",
+    "mine_scenario",
+    "predict",
+    "resolve_fit_jobs",
+    "self_target",
+    "whatif",
+]

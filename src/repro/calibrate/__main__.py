@@ -1,0 +1,8 @@
+"""Entry point for ``python -m repro.calibrate``."""
+
+import sys
+
+from repro.calibrate.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,231 @@
+"""The declarative parameter space the calibrator searches.
+
+A :class:`Knob` names one tunable of the simulated testbed — a numeric
+:class:`~repro.params.SimulationParams` field with bounds, a grid
+resolution and a linear/log scale, or a categorical choice (the
+scheduler).  A :class:`ParameterSpace` is an ordered registry of knobs
+that can enumerate a seeded grid and draw random candidates from
+per-knob :class:`~repro.simul.distributions.RandomSource` substreams,
+so a candidate's value never depends on how many other knobs exist or
+the order trials are generated in.
+
+Everything serializes to plain JSON (``to_dict``/``from_dict`` with
+loud :class:`ValueError` on malformed payloads) because the space is
+part of the fitted-model artifact's provenance.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, fields as dataclass_fields
+from typing import Any, Dict, List, Mapping, Tuple
+
+from repro.params import MB, SimulationParams
+from repro.simul.distributions import RandomSource
+
+__all__ = [
+    "Knob",
+    "ParameterSpace",
+    "SCHEDULER_KNOB",
+    "SCHEDULER_CHOICES",
+    "DEFAULT_SPACE",
+]
+
+#: The one knob that lives outside ``SimulationParams``: which scheduler
+#: the testbed runs ("capacity", "fair", or the Hadoop-3 distributed
+#: "opportunistic" mode — the paper's Fig 7 substitution).
+SCHEDULER_KNOB = "scheduler"
+SCHEDULER_CHOICES = ("capacity", "fair", "opportunistic")
+
+_PARAM_FIELDS = frozenset(f.name for f in dataclass_fields(SimulationParams))
+_KINDS = ("float", "int", "categorical")
+_SCALES = ("linear", "log")
+
+
+@dataclass(frozen=True)
+class Knob:
+    """One tunable dimension of the search space."""
+
+    name: str
+    kind: str = "float"
+    low: float = 0.0
+    high: float = 0.0
+    scale: str = "linear"
+    #: Grid points along this knob when the seeded grid enumerates it.
+    grid: int = 3
+    #: Categorical values (kind="categorical" only).
+    choices: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"knob {self.name!r}: unknown kind {self.kind!r}")
+        if self.name != SCHEDULER_KNOB and self.name not in _PARAM_FIELDS:
+            raise ValueError(
+                f"knob {self.name!r} is not a SimulationParams field "
+                f"(nor {SCHEDULER_KNOB!r})"
+            )
+        if self.kind == "categorical":
+            if not self.choices or not all(
+                isinstance(c, str) for c in self.choices
+            ):
+                raise ValueError(
+                    f"categorical knob {self.name!r} needs string choices"
+                )
+            return
+        if self.scale not in _SCALES:
+            raise ValueError(f"knob {self.name!r}: unknown scale {self.scale!r}")
+        if not self.low < self.high:
+            raise ValueError(
+                f"knob {self.name!r}: low must be < high "
+                f"(got {self.low} >= {self.high})"
+            )
+        if self.scale == "log" and self.low <= 0:
+            raise ValueError(f"log-scale knob {self.name!r} needs low > 0")
+        if self.grid < 2:
+            raise ValueError(f"knob {self.name!r}: grid must be >= 2")
+
+    # -- enumeration / sampling ------------------------------------------
+    def grid_values(self) -> List[Any]:
+        """This knob's grid marks, in ascending/declaration order."""
+        if self.kind == "categorical":
+            return list(self.choices)
+        if self.scale == "log":
+            lo, hi = math.log(self.low), math.log(self.high)
+            raw = [
+                math.exp(lo + (hi - lo) * i / (self.grid - 1))
+                for i in range(self.grid)
+            ]
+        else:
+            raw = [
+                self.low + (self.high - self.low) * i / (self.grid - 1)
+                for i in range(self.grid)
+            ]
+        if self.kind == "int":
+            seen: List[Any] = []
+            for v in raw:
+                iv = int(round(v))
+                if iv not in seen:
+                    seen.append(iv)
+            return seen
+        return raw
+
+    def sample(self, rng: RandomSource) -> Any:
+        """One random value from this knob's own substream."""
+        if self.kind == "categorical":
+            return self.choices[rng.integers(0, len(self.choices))]
+        if self.scale == "log":
+            value = math.exp(rng.uniform(math.log(self.low), math.log(self.high)))
+        else:
+            value = rng.uniform(self.low, self.high)
+        if self.kind == "int":
+            return max(int(round(value)), int(math.ceil(self.low)))
+        return value
+
+    # -- serialization ----------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"name": self.name, "kind": self.kind}
+        if self.kind == "categorical":
+            out["choices"] = list(self.choices)
+        else:
+            out.update(
+                low=self.low, high=self.high, scale=self.scale, grid=self.grid
+            )
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Knob":
+        if not isinstance(payload, Mapping) or "name" not in payload:
+            raise ValueError(f"malformed knob payload: {payload!r}")
+        known = {"name", "kind", "low", "high", "scale", "grid", "choices"}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(f"unknown knob key(s): {', '.join(unknown)}")
+        kwargs = dict(payload)
+        if "choices" in kwargs:
+            kwargs["choices"] = tuple(kwargs["choices"])
+        return cls(**kwargs)
+
+
+@dataclass(frozen=True)
+class ParameterSpace:
+    """An ordered, named registry of knobs."""
+
+    knobs: Tuple[Knob, ...]
+
+    def __post_init__(self) -> None:
+        names = [k.name for k in self.knobs]
+        if len(names) != len(set(names)):
+            raise ValueError(f"duplicate knob names: {names}")
+        if not self.knobs:
+            raise ValueError("a ParameterSpace needs at least one knob")
+
+    def __iter__(self):
+        return iter(self.knobs)
+
+    def __len__(self) -> int:
+        return len(self.knobs)
+
+    def names(self) -> List[str]:
+        return [k.name for k in self.knobs]
+
+    # -- candidate generation --------------------------------------------
+    def grid_size(self) -> int:
+        size = 1
+        for knob in self.knobs:
+            size *= len(knob.grid_values())
+        return size
+
+    def grid_points(self, limit: int = 0) -> List[Dict[str, Any]]:
+        """The full cartesian grid, deterministically thinned to ``limit``.
+
+        Enumeration order is row-major over the knobs in declaration
+        order.  With ``limit`` > 0 and a larger grid, evenly spaced
+        indices are kept — the same subset on every run and every
+        machine, so seeded-grid trials are reproducible provenance.
+        """
+        values = [k.grid_values() for k in self.knobs]
+        total = self.grid_size()
+        if limit and limit < total:
+            keep = sorted({(i * total) // limit for i in range(limit)})
+        else:
+            keep = range(total)
+        points: List[Dict[str, Any]] = []
+        for flat in keep:
+            point: Dict[str, Any] = {}
+            remainder = flat
+            for knob, vals in zip(reversed(self.knobs), reversed(values)):
+                remainder, idx = divmod(remainder, len(vals))
+                point[knob.name] = vals[idx]
+            points.append({k.name: point[k.name] for k in self.knobs})
+        return points
+
+    def sample_point(self, rng: RandomSource) -> Dict[str, Any]:
+        """One random candidate; each knob draws from its own substream."""
+        return {k.name: k.sample(rng.child(k.name)) for k in self.knobs}
+
+    # -- serialization ----------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {"knobs": [k.to_dict() for k in self.knobs]}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ParameterSpace":
+        if not isinstance(payload, Mapping) or "knobs" not in payload:
+            raise ValueError(f"malformed parameter-space payload: {payload!r}")
+        return cls(tuple(Knob.from_dict(k) for k in payload["knobs"]))
+
+
+#: The default search space: the knobs the paper's decomposition is most
+#: sensitive to — heartbeat pacing (queue wait / acquisition), network
+#: bandwidth (localization), launch-overhead medians (AM launch and
+#: ramp), RM allocation service time (queue wait under load), and the
+#: scheduler itself.
+DEFAULT_SPACE = ParameterSpace(
+    (
+        Knob("nm_heartbeat_s", low=0.25, high=4.0, scale="log", grid=3),
+        Knob("network_bandwidth", low=125.0 * MB, high=2500.0 * MB, scale="log", grid=3),
+        Knob("driver_init_median_s", low=0.7, high=8.0, scale="log", grid=3),
+        Knob("executor_init_median_s", low=0.3, high=4.0, scale="log", grid=3),
+        Knob("rm_alloc_service_s", low=4.5e-5, high=2.9e-3, scale="log", grid=3),
+        Knob(SCHEDULER_KNOB, kind="categorical", choices=SCHEDULER_CHOICES),
+    )
+)

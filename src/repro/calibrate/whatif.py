@@ -1,0 +1,181 @@
+"""Counterfactual queries against a fitted model.
+
+Once :func:`repro.calibrate.search.fit` has pinned the simulator to a
+mined corpus, a what-if re-simulates the same scenario from the fitted
+point with the asked-for overrides applied ("CapacityScheduler →
+Opportunistic", "NM heartbeat halved") and reports each delay
+component's p50/p95/p99 next to the fitted baseline, with change
+factors.
+
+Ratio semantics follow :func:`repro.core.stats.ratio_of`: a component
+that is 0 in both runs reads 1.0 ("unchanged"), and a component that is
+unmeasurable on either side renders as ``n/a`` in the table and
+``null`` in JSON — raw NaN never reaches the output.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.core.report import AnalysisReport
+from repro.core.stats import ratio_of
+from repro.calibrate.objective import (
+    COMPONENTS,
+    apply_overrides,
+    component_sample,
+    mine_scenario,
+)
+from repro.calibrate.search import FittedModel
+from repro.calibrate.space import SCHEDULER_CHOICES, SCHEDULER_KNOB
+
+__all__ = ["WhatIfAnswer", "predict", "whatif", "QUANTILES"]
+
+#: Reported quantiles, the paper's headline points plus the tail.
+QUANTILES = (50, 95, 99)
+
+
+def _json_safe(value: float) -> Optional[float]:
+    """NaN → None: JSON output carries null, never ``NaN`` literals."""
+    if value is None or math.isnan(value):
+        return None
+    return value
+
+
+def _quantile_row(report: AnalysisReport, component: str) -> Dict[str, Any]:
+    # component_sample handles the fitted components; anything else
+    # ("total_delay") is a headline report metric.
+    sample = component_sample(report, component)
+    row: Dict[str, Any] = {"n": len(sample)}
+    for q in QUANTILES:
+        row[f"p{q}"] = _json_safe(sample.percentile(q))
+    return row
+
+
+def predict(
+    model: FittedModel, overrides: Optional[Mapping[str, Any]] = None
+) -> Dict[str, Any]:
+    """Re-simulate from the fitted point (+ optional overrides).
+
+    Returns the predicted decomposition: one p50/p95/p99 row per
+    component, JSON-safe.
+    """
+    scenario = model.replay_scenario()
+    if overrides:
+        scenario = apply_overrides(scenario, overrides)
+    report = mine_scenario(scenario, model.replay_seed)
+    return {
+        "scenario": model.scenario,
+        "replay_seed": model.replay_seed,
+        "overrides": dict(overrides or {}),
+        "components": {c: _quantile_row(report, c) for c in COMPONENTS},
+        "total_delay": _quantile_row(report, "total_delay"),
+    }
+
+
+@dataclass
+class WhatIfAnswer:
+    """Base-vs-variant decomposition with per-component deltas."""
+
+    scenario: str
+    replay_seed: int
+    overrides: Dict[str, Any]
+    base: Dict[str, Dict[str, Any]]
+    variant: Dict[str, Dict[str, Any]]
+
+    def delta(self, component: str, q: int = 50) -> Optional[float]:
+        """Change factor variant/base for one component quantile."""
+        b = self.base[component].get(f"p{q}")
+        v = self.variant[component].get(f"p{q}")
+        if b is None or v is None:
+            return None
+        return _json_safe(ratio_of(b, v))
+
+    def to_dict(self) -> Dict[str, Any]:
+        rows = {}
+        for component in self._rows():
+            rows[component] = {
+                "base": self.base[component],
+                "variant": self.variant[component],
+                "x": {f"p{q}": self.delta(component, q) for q in QUANTILES},
+            }
+        return {
+            "scenario": self.scenario,
+            "replay_seed": self.replay_seed,
+            "overrides": dict(self.overrides),
+            "components": rows,
+        }
+
+    def _rows(self) -> List[str]:
+        return [*COMPONENTS, "total_delay"]
+
+    def table(self) -> str:
+        """The delta table the CLI prints (``n/a`` for unmeasurables)."""
+        header = (
+            f"{'component':20s}{'base p50':>10s}{'new p50':>10s}{'x':>7s}"
+            f"{'base p99':>10s}{'new p99':>10s}{'x':>7s}"
+        )
+
+        def cell(value: Optional[float], width: int = 10) -> str:
+            if value is None:
+                return f"{'n/a':>{width}s}"
+            return f"{value:{width}.3f}"
+
+        def xcell(value: Optional[float]) -> str:
+            if value is None:
+                return f"{'n/a':>7s}"
+            return f"{value:7.2f}"
+
+        lines = [header]
+        for component in self._rows():
+            lines.append(
+                f"{component:20s}"
+                f"{cell(self.base[component]['p50'])}"
+                f"{cell(self.variant[component]['p50'])}"
+                f"{xcell(self.delta(component, 50))}"
+                f"{cell(self.base[component]['p99'])}"
+                f"{cell(self.variant[component]['p99'])}"
+                f"{xcell(self.delta(component, 99))}"
+            )
+        return "\n".join(lines)
+
+
+def _validate_whatif_overrides(overrides: Mapping[str, Any]) -> None:
+    if not overrides:
+        raise ValueError("a what-if needs at least one override")
+    scheduler = overrides.get(SCHEDULER_KNOB)
+    if scheduler is not None and scheduler not in SCHEDULER_CHOICES:
+        raise ValueError(
+            f"unknown scheduler {scheduler!r} (choices: "
+            f"{', '.join(SCHEDULER_CHOICES)})"
+        )
+
+
+def whatif(model: FittedModel, overrides: Mapping[str, Any]) -> WhatIfAnswer:
+    """Answer a counterfactual from the fitted model.
+
+    Simulates the fitted baseline and the override variant at the
+    model's replay seed and returns both decompositions plus deltas.
+    """
+    _validate_whatif_overrides(overrides)
+    base_scenario = model.replay_scenario()
+    variant_scenario = apply_overrides(base_scenario, overrides)
+    base_report = mine_scenario(base_scenario, model.replay_seed)
+    variant_report = mine_scenario(variant_scenario, model.replay_seed)
+    rows = [*COMPONENTS, "total_delay"]
+
+    def decomposition(report: AnalysisReport) -> Dict[str, Dict[str, Any]]:
+        out = {c: _quantile_row(report, c) for c in COMPONENTS}
+        out["total_delay"] = _quantile_row(report, "total_delay")
+        return out
+
+    answer = WhatIfAnswer(
+        scenario=model.scenario,
+        replay_seed=model.replay_seed,
+        overrides=dict(overrides),
+        base=decomposition(base_report),
+        variant=decomposition(variant_report),
+    )
+    assert set(answer.base) == set(rows)
+    return answer

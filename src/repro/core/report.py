@@ -16,7 +16,7 @@ from typing import Dict, List, Optional, Union
 from repro.core.bugcheck import BugFinding
 from repro.core.decompose import ApplicationDelays
 from repro.core.diagnostics import MiningDiagnostics
-from repro.core.stats import DelaySample
+from repro.core.stats import DelaySample, ratio_of
 
 __all__ = ["AnalysisReport"]
 
@@ -237,20 +237,13 @@ class AnalysisReport:
             f"{'metric':18s}{label_self + ' med':>10s}{label_other + ' med':>10s}"
             f"{'x':>7s}{label_self + ' p95':>10s}{label_other + ' p95':>10s}{'x':>7s}"
         ]
-        def ratio(base: float, new: float) -> float:
-            # 0-vs-0 is "unchanged", not undefined: components like
-            # preemption_delay are legitimately all-zero in calm runs.
-            if base:
-                return new / base
-            return 1.0 if new == base else float("nan")
-
         for metric in METRICS:
             a, b = self.sample(metric), other.sample(metric)
             if not a or not b:
                 continue
             lines.append(
-                f"{metric:18s}{a.p50:10.2f}{b.p50:10.2f}{ratio(a.p50, b.p50):7.2f}"
-                f"{a.p95:10.2f}{b.p95:10.2f}{ratio(a.p95, b.p95):7.2f}"
+                f"{metric:18s}{a.p50:10.2f}{b.p50:10.2f}{ratio_of(a.p50, b.p50):7.2f}"
+                f"{a.p95:10.2f}{b.p95:10.2f}{ratio_of(a.p95, b.p95):7.2f}"
             )
         return "\n".join(lines)
 

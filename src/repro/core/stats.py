@@ -12,7 +12,24 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["DelaySample"]
+__all__ = ["DelaySample", "ratio_of"]
+
+
+def ratio_of(base: float, new: float) -> float:
+    """Slowdown factor ``new / base`` with honest edge semantics.
+
+    ``0-vs-0`` is "unchanged" — ``1.0``, not undefined: components like
+    ``preemption_delay`` are legitimately all-zero in calm runs (the
+    scenario-pack ``compare()`` fix, shared here so the sample layer and
+    every delta table agree).  A NaN on either side (an empty sample's
+    percentile) or a nonzero-vs-zero comparison propagates NaN — callers
+    rendering JSON must map it to null/"n/a", never serialize raw NaN.
+    """
+    if np.isnan(base) or np.isnan(new):
+        return float("nan")
+    if base:
+        return new / base
+    return 1.0 if new == base else float("nan")
 
 
 class DelaySample:
@@ -96,11 +113,14 @@ class DelaySample:
 
     # -- combination ------------------------------------------------------------
     def ratio_to(self, other: "DelaySample", q: float = 50.0) -> float:
-        """Percentile ratio self/other (slowdown factors in Figs 12-13)."""
-        denom = other.percentile(q)
-        if denom == 0 or np.isnan(denom):
-            return float("nan")
-        return self.percentile(q) / denom
+        """Percentile ratio self/other (slowdown factors in Figs 12-13).
+
+        Edge semantics via :func:`ratio_of`: 0-vs-0 compares as 1.0
+        (unchanged), while an empty sample on either side — or a
+        nonzero numerator over a zero base — is NaN, which JSON
+        renderers must show as "n/a", never raw ``nan``.
+        """
+        return ratio_of(other.percentile(q), self.percentile(q))
 
     def describe(self) -> str:
         """One-line summary used by the report tables."""

@@ -16,8 +16,8 @@ are cited inline; EXPERIMENTS.md records measured-vs-paper for each.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Any, Dict, Optional
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Dict, Mapping, Optional
 
 __all__ = ["SimulationParams", "MB", "GB"]
 
@@ -294,10 +294,48 @@ class SimulationParams:
     nm_localization_cache: bool = True
 
     def with_overrides(self, **overrides: Any) -> "SimulationParams":
-        """A copy with the given fields replaced (validation included)."""
+        """A copy with the given fields replaced (validation included).
+
+        Unknown or ill-typed knob names raise a loud :class:`ValueError`
+        naming the offender — a mistyped knob must never be silently
+        dropped into a calibration run.
+        """
+        _check_override_types(overrides)
         new = replace(self, **overrides)
         new.validate()
         return new
+
+    # -- serialization (the calibration artifact format) -------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Every field as plain JSON-serializable data.
+
+        Dict-valued fields are copied so mutating the export never
+        aliases the params instance.  ``from_dict(p.to_dict())`` is an
+        exact round-trip.
+        """
+        out: Dict[str, Any] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            out[f.name] = dict(value) if isinstance(value, dict) else value
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "SimulationParams":
+        """Rebuild params from :meth:`to_dict` output.
+
+        Raises :class:`ValueError` on unknown keys and on values whose
+        type does not match the field (``True`` is not an int count, a
+        string is not a latency) — the loud round-trip contract the
+        fitted-model artifact format relies on.
+        """
+        if not isinstance(payload, Mapping):
+            raise ValueError(
+                f"SimulationParams payload must be a mapping, got "
+                f"{type(payload).__name__}"
+            )
+        overrides = dict(payload)
+        _check_override_types(overrides)
+        return cls(**overrides)
 
     def validate(self) -> None:
         """Sanity-check invariants the simulator relies on."""
@@ -333,3 +371,80 @@ class SimulationParams:
 
     def __post_init__(self) -> None:
         self.validate()
+
+
+#: Fields whose type cannot be inferred from a scalar default: the
+#: per-instance-type JVM table (a required dict) and the optional
+#: tenant-weight map.
+_DICT_FIELDS = frozenset({"jvm_start_median_s"})
+_OPTIONAL_DICT_FIELDS = frozenset({"queue_weights"})
+
+
+def _field_kinds() -> Dict[str, str]:
+    """field name -> expected-kind tag, derived from the defaults.
+
+    Every scalar field declares a default (pinned by the params test
+    suite), so the default's concrete type is the field's type — no
+    fragile string-annotation parsing under ``from __future__ import
+    annotations``.
+    """
+    kinds: Dict[str, str] = {}
+    for f in fields(SimulationParams):
+        if f.name in _DICT_FIELDS:
+            kinds[f.name] = "dict"
+        elif f.name in _OPTIONAL_DICT_FIELDS:
+            kinds[f.name] = "optional_dict"
+        elif isinstance(f.default, bool):
+            kinds[f.name] = "bool"
+        elif isinstance(f.default, int):
+            kinds[f.name] = "int"
+        elif isinstance(f.default, float):
+            kinds[f.name] = "float"
+        elif isinstance(f.default, str):
+            kinds[f.name] = "str"
+        else:
+            raise TypeError(
+                f"SimulationParams.{f.name} has no scalar default; add it "
+                f"to the dict-field tables in repro.params"
+            )
+    return kinds
+
+
+_FIELD_KINDS = _field_kinds()
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _kind_ok(kind: str, value: Any) -> bool:
+    if kind == "bool":
+        return isinstance(value, bool)
+    if kind == "int":
+        return isinstance(value, int) and not isinstance(value, bool)
+    if kind == "float":
+        return _is_number(value)
+    if kind == "str":
+        return isinstance(value, str)
+    if kind == "optional_dict" and value is None:
+        return True
+    # dict / optional_dict: string keys, numeric values.
+    return isinstance(value, dict) and all(
+        isinstance(k, str) and _is_number(v) for k, v in value.items()
+    )
+
+
+def _check_override_types(overrides: Mapping[str, Any]) -> None:
+    """Loudly reject unknown knob names and ill-typed values."""
+    unknown = sorted(set(overrides) - set(_FIELD_KINDS))
+    if unknown:
+        raise ValueError(
+            f"unknown SimulationParams field(s): {', '.join(unknown)}"
+        )
+    for name, value in overrides.items():
+        kind = _FIELD_KINDS[name]
+        if not _kind_ok(kind, value):
+            raise ValueError(
+                f"SimulationParams.{name} expects {kind}, got "
+                f"{type(value).__name__} ({value!r})"
+            )

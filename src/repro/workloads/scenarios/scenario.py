@@ -128,7 +128,9 @@ class Scenario:
     n_jobs: int = 8
     arrivals: ArrivalSpec = field(default_factory=ArrivalSpec)
     tenants: Tuple[TenantSpec, ...] = (TenantSpec("default"),)
-    #: "capacity" or "fair".
+    #: "capacity", "fair", or "opportunistic" (the Hadoop-3 distributed
+    #: scheduler: capacity RM + OPPORTUNISTIC container requests — the
+    #: calibration engine's scheduler-substitution knob).
     scheduler: str = "capacity"
     #: PreemptionMonitor kwargs; None runs without preemption.
     preemption: Optional[Dict[str, float]] = None
@@ -164,10 +166,14 @@ class Scenario:
             HARDWARE_PROFILES[p] if p is not None else None
             for p in self.node_profiles
         ]
+        if self.scheduler not in ("capacity", "fair", "opportunistic"):
+            raise ValueError(f"unknown scenario scheduler {self.scheduler!r}")
+        distributed = self.scheduler == "opportunistic"
         bed = Testbed(
             params=params,
             seed=seed,
-            scheduler=self.scheduler,
+            scheduler="capacity" if distributed else self.scheduler,
+            distributed_scheduling=distributed,
             node_profiles=profiles,
         )
         monitor = (
@@ -191,6 +197,7 @@ class Scenario:
                 num_executors=tenant.num_executors,
                 user=tenant.name,
                 queue=tenant.name,
+                opportunistic=distributed,
             )
             bed.submit(app, delay=offset)
         return bed, monitor

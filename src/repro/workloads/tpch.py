@@ -80,15 +80,13 @@ TPCH_QUERIES: Dict[int, QueryTemplate] = {
 class TPCHDataset:
     """One Hive-populated TPC-H database in HDFS, shared by all queries."""
 
-    _seq = 0
-
     def __init__(self, total_bytes: float, name: Optional[str] = None):
         if total_bytes <= 0:
             raise ValueError("dataset size must be positive")
         self.total_bytes = float(total_bytes)
-        if name is None:
-            TPCHDataset._seq += 1
-            name = f"tpch{TPCHDataset._seq}"
+        # Auto-naming is deferred to prepare(): the sequence counter
+        # lives on the testbed, not the module, so constructing
+        # datasets inside pool workers cannot diverge process state.
         self.name = name
         self.tables: Dict[str, object] = {}
 
@@ -96,6 +94,10 @@ class TPCHDataset:
         """Register the eight table files (idempotent)."""
         if self.tables:
             return
+        if self.name is None:
+            seq = getattr(services, "_tpch_dataset_seq", 0) + 1
+            services._tpch_dataset_seq = seq
+            self.name = f"tpch{seq}"
         for table, fraction in TPCH_TABLES.items():
             self.tables[table] = services.hdfs.register_file(
                 f"/user/hive/warehouse/{self.name}.db/{table}",

@@ -18,7 +18,11 @@ It rebuilds, fully deterministically:
 * ``tests/data/scenario_<preset>_expected.json``  — one mined-report
   snapshot per scenario pack in
   :data:`repro.workloads.scenarios.SCENARIO_PRESETS`, each generated
-  at its preset's pinned seed.
+  at its preset's pinned seed;
+* ``tests/data/calibrate_diurnal_burst_fitted.json``  — one small
+  calibration self-fit on the diurnal-burst preset (seed 7, 2 grid +
+  2 random trials), the byte-pinned fitted-model artifact
+  ``tests/test_calibrate_fit.py`` reproduces.
 
 ``tests/test_golden_corpus.py`` and ``tests/test_scenarios_golden.py``
 assert the current code still reproduces these snapshots; diff any
@@ -99,6 +103,19 @@ def main() -> int:
             json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n"
         )
         print(f"snapshot: {snapshot.name} ({len(report)} app(s))")
+
+    from repro.calibrate import fit
+
+    # One small calibration self-fit, pinned byte-for-byte: the search
+    # seed, the grid thinning, the random substream draws, every
+    # trial's mined decomposition, and the winning parameter blob.
+    model = fit("diurnal-burst", seed=7, grid_limit=2, random_trials=2, jobs=1)
+    fitted = HERE / "calibrate_diurnal_burst_fitted.json"
+    fitted.write_text(model.dumps(), encoding="utf-8")
+    print(
+        f"snapshot: {fitted.name} ({len(model.trials)} trial(s), "
+        f"best error {model.best.error})"
+    )
     return 0
 
 

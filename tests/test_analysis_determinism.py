@@ -225,5 +225,14 @@ class TestPristineTree:
         assert determinism.scan_tree(live_root) == []
         assert not any(p.startswith("repro/live/") for p in scanned)
 
+    def test_calibrate_tree_is_scanned_and_clean(self):
+        # The fit driver promises byte-identical artifacts at any
+        # --jobs, so wall-clock reads or unseeded randomness anywhere
+        # in repro.calibrate would be a contract violation.
+        calibrate_root = SRC_ROOT / "repro" / "calibrate"
+        scanned = {f.path for f in determinism.run(SRC_ROOT)}
+        assert determinism.scan_tree(calibrate_root) == []
+        assert not any(p.startswith("repro/calibrate/") for p in scanned)
+
     def test_syntax_errors_are_skipped(self):
         assert determinism.scan_source("def broken(:\n", "x.py") == []

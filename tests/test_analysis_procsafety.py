@@ -322,3 +322,16 @@ class TestRealTree:
                     targets.add(site.target)
         assert "repro.core.parser._mine_stream_task" in targets
         assert "repro.core.parser._mine_chunk_task" in targets
+
+    def test_calibrate_submission_site_is_discovered(self):
+        # Same blindness guard for the calibration fit driver: the
+        # SD5xx pass must see the trial fan-out's worker function.
+        graph = CallGraph.build(SRC_ROOT)
+        targets = set()
+        for qualname in sorted(graph.index.functions):
+            for site in procsafety._sites_in(
+                graph, graph.index.functions[qualname]
+            ):
+                if site.target is not None:
+                    targets.add(site.target)
+        assert "repro.calibrate.search._evaluate_task" in targets

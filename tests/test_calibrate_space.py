@@ -1,0 +1,160 @@
+"""Unit + property suite for the calibration parameter space.
+
+The space is provenance: it rides inside every fitted-model artifact,
+so its enumeration order, thinning, and sampling must be pure functions
+of (knobs, seed) — no machine-dependent or order-dependent values.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.calibrate.space import (
+    DEFAULT_SPACE,
+    SCHEDULER_CHOICES,
+    SCHEDULER_KNOB,
+    Knob,
+    ParameterSpace,
+)
+from repro.simul.distributions import RandomSource
+
+SEEDS = st.integers(min_value=0, max_value=2**16)
+
+
+class TestKnobValidation:
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="not a SimulationParams field"):
+            Knob("nm_hearbeat_s", low=0.1, high=1.0)  # the classic typo
+
+    def test_scheduler_knob_allowed(self):
+        knob = Knob(SCHEDULER_KNOB, kind="categorical", choices=SCHEDULER_CHOICES)
+        assert knob.grid_values() == list(SCHEDULER_CHOICES)
+
+    def test_bad_kind(self):
+        with pytest.raises(ValueError, match="unknown kind"):
+            Knob("nm_heartbeat_s", kind="gaussian", low=0.1, high=1.0)
+
+    def test_bad_scale(self):
+        with pytest.raises(ValueError, match="unknown scale"):
+            Knob("nm_heartbeat_s", low=0.1, high=1.0, scale="cubic")
+
+    def test_low_ge_high(self):
+        with pytest.raises(ValueError, match="low must be < high"):
+            Knob("nm_heartbeat_s", low=1.0, high=1.0)
+
+    def test_log_scale_needs_positive_low(self):
+        with pytest.raises(ValueError, match="needs low > 0"):
+            Knob("nm_heartbeat_s", low=0.0, high=1.0, scale="log")
+
+    def test_grid_too_small(self):
+        with pytest.raises(ValueError, match="grid must be >= 2"):
+            Knob("nm_heartbeat_s", low=0.1, high=1.0, grid=1)
+
+    def test_categorical_needs_choices(self):
+        with pytest.raises(ValueError, match="needs string choices"):
+            Knob(SCHEDULER_KNOB, kind="categorical")
+
+
+class TestKnobValues:
+    def test_linear_grid_endpoints(self):
+        knob = Knob("nm_heartbeat_s", low=0.5, high=2.5, grid=5)
+        values = knob.grid_values()
+        assert values[0] == pytest.approx(0.5)
+        assert values[-1] == pytest.approx(2.5)
+        assert values == sorted(values)
+
+    def test_log_grid_is_geometric(self):
+        knob = Knob("nm_heartbeat_s", low=0.25, high=4.0, scale="log", grid=3)
+        values = knob.grid_values()
+        assert values == pytest.approx([0.25, 1.0, 4.0])
+
+    def test_int_grid_dedups(self):
+        knob = Knob("num_nodes", kind="int", low=3, high=5, grid=9)
+        assert knob.grid_values() == [3, 4, 5]
+
+    def test_round_trip(self):
+        for knob in DEFAULT_SPACE:
+            assert Knob.from_dict(knob.to_dict()) == knob
+
+    def test_from_dict_unknown_key(self):
+        with pytest.raises(ValueError, match="unknown knob key"):
+            Knob.from_dict({"name": "nm_heartbeat_s", "lo": 0.1})
+
+    @given(seed=SEEDS)
+    @settings(max_examples=25, deadline=None)
+    def test_sample_within_bounds(self, seed):
+        rng = RandomSource(seed, "test.space")
+        for knob in DEFAULT_SPACE:
+            value = knob.sample(rng.child(knob.name))
+            if knob.kind == "categorical":
+                assert value in knob.choices
+            else:
+                assert knob.low <= value <= knob.high
+
+    @given(seed=SEEDS)
+    @settings(max_examples=25, deadline=None)
+    def test_sample_is_seed_pure(self, seed):
+        knob = Knob("nm_heartbeat_s", low=0.25, high=4.0, scale="log")
+        a = knob.sample(RandomSource(seed, "test.space").child(knob.name))
+        b = knob.sample(RandomSource(seed, "test.space").child(knob.name))
+        assert a == b
+
+
+class TestParameterSpace:
+    def test_needs_knobs(self):
+        with pytest.raises(ValueError, match="at least one knob"):
+            ParameterSpace(())
+
+    def test_duplicate_names(self):
+        knob = Knob("nm_heartbeat_s", low=0.1, high=1.0)
+        with pytest.raises(ValueError, match="duplicate knob names"):
+            ParameterSpace((knob, knob))
+
+    def test_round_trip(self):
+        assert (
+            ParameterSpace.from_dict(DEFAULT_SPACE.to_dict()) == DEFAULT_SPACE
+        )
+
+    def test_grid_size(self):
+        space = ParameterSpace(
+            (
+                Knob("nm_heartbeat_s", low=0.5, high=2.0, grid=3),
+                Knob(SCHEDULER_KNOB, kind="categorical", choices=("a", "b")),
+            )
+        )
+        assert space.grid_size() == 6
+        assert len(space.grid_points()) == 6
+
+    def test_grid_points_cover_every_knob(self):
+        for point in DEFAULT_SPACE.grid_points(limit=5):
+            assert sorted(point) == sorted(DEFAULT_SPACE.names())
+
+    def test_thinning_is_deterministic_subset(self):
+        full = DEFAULT_SPACE.grid_points()
+        thin = DEFAULT_SPACE.grid_points(limit=7)
+        assert len(thin) == 7
+        assert thin == [p for p in full if p in thin]
+        assert thin == DEFAULT_SPACE.grid_points(limit=7)
+
+    @given(seed=SEEDS)
+    @settings(max_examples=25, deadline=None)
+    def test_sample_point_knob_independence(self, seed):
+        """A knob's draw must not depend on which other knobs exist."""
+        rng = RandomSource(seed, "calibrate.fit").child("trial.0")
+        full = DEFAULT_SPACE.sample_point(rng)
+        solo_space = ParameterSpace((DEFAULT_SPACE.knobs[0],))
+        rng2 = RandomSource(seed, "calibrate.fit").child("trial.0")
+        solo = solo_space.sample_point(rng2)
+        name = DEFAULT_SPACE.knobs[0].name
+        assert solo[name] == full[name]
+
+    def test_sample_point_log_knobs_positive(self):
+        rng = RandomSource(123, "calibrate.fit").child("trial.9")
+        point = DEFAULT_SPACE.sample_point(rng)
+        for knob in DEFAULT_SPACE:
+            if knob.kind != "categorical" and knob.scale == "log":
+                assert point[knob.name] > 0
+                assert not math.isnan(point[knob.name])

@@ -1,0 +1,128 @@
+"""What-if layer: counterfactual answers from a fitted model.
+
+Pins the two ISSUE counterfactuals (scheduler swap, heartbeat halving)
+end to end, plus the NaN discipline: a component with no measurements
+renders ``n/a`` in the table and ``null`` in JSON — never a bare NaN —
+and a 0-vs-0 component reads as change factor 1.0.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.calibrate import fit, predict, whatif
+from repro.calibrate.space import Knob, ParameterSpace
+from repro.calibrate.whatif import WhatIfAnswer, QUANTILES
+
+SMALL_SPACE = ParameterSpace(
+    (Knob("nm_heartbeat_s", low=0.5, high=2.0, scale="log", grid=2),)
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    # A minimal self-fit: the baseline wins at error 0, so what-ifs run
+    # against the preset's own parameters.
+    return fit(
+        "diurnal-burst", seed=5, grid_limit=0, random_trials=1, jobs=1,
+        space=SMALL_SPACE,
+    )
+
+
+class TestPredict:
+    def test_decomposition_shape(self, model):
+        result = predict(model)
+        assert result["scenario"] == "diurnal-burst"
+        assert set(result["components"]) == {
+            "queue_wait_delay",
+            "am_launch_delay",
+            "driver_delay",
+            "localization_delay",
+            "preemption_delay",
+            "ramp_delay",
+        }
+        for row in (*result["components"].values(), result["total_delay"]):
+            assert set(row) == {"n", "p50", "p95", "p99"}
+            assert row["n"] > 0
+
+    def test_predict_is_json_safe(self, model):
+        text = json.dumps(predict(model))
+        assert "NaN" not in text
+
+    def test_predict_accepts_overrides(self, model):
+        base = predict(model)
+        fast = predict(model, {"nm_heartbeat_s": 0.25})
+        assert fast["overrides"] == {"nm_heartbeat_s": 0.25}
+        assert (
+            fast["components"]["queue_wait_delay"]["p50"]
+            <= base["components"]["queue_wait_delay"]["p50"]
+        )
+
+
+class TestWhatIf:
+    def test_scheduler_swap_answers_with_deltas(self, model):
+        answer = whatif(model, {"scheduler": "opportunistic"})
+        assert answer.overrides == {"scheduler": "opportunistic"}
+        for component in answer.base:
+            for q in QUANTILES:
+                delta = answer.delta(component, q)
+                assert delta is None or not math.isnan(delta)
+        # The swap changes the mined decomposition somewhere.
+        assert answer.base != answer.variant
+
+    def test_heartbeat_halving_reduces_queue_wait(self, model):
+        base_hb = model.fitted_params["nm_heartbeat_s"]
+        answer = whatif(model, {"nm_heartbeat_s": base_hb / 2})
+        delta = answer.delta("queue_wait_delay", 50)
+        assert delta is not None and delta < 1.0
+
+    def test_zero_vs_zero_component_reads_unchanged(self, model):
+        # diurnal-burst mines preemption at exactly 0 on both sides.
+        answer = whatif(model, {"nm_heartbeat_s": 1.9})
+        assert answer.base["preemption_delay"]["p50"] == 0.0
+        assert answer.variant["preemption_delay"]["p50"] == 0.0
+        assert answer.delta("preemption_delay", 50) == 1.0
+
+    def test_json_export_has_no_nan(self, model):
+        answer = whatif(model, {"scheduler": "fair"})
+        text = json.dumps(answer.to_dict())
+        assert "NaN" not in text
+
+    def test_table_renders_na_for_missing(self):
+        empty_row = {"n": 0, "p50": None, "p95": None, "p99": None}
+        full_row = {"n": 4, "p50": 1.0, "p95": 2.0, "p99": 3.0}
+        rows = [
+            "queue_wait_delay",
+            "am_launch_delay",
+            "driver_delay",
+            "localization_delay",
+            "preemption_delay",
+            "ramp_delay",
+            "total_delay",
+        ]
+        answer = WhatIfAnswer(
+            scenario="unit",
+            replay_seed=0,
+            overrides={"scheduler": "fair"},
+            base={c: dict(full_row) for c in rows},
+            variant={
+                c: dict(empty_row if c == "preemption_delay" else full_row)
+                for c in rows
+            },
+        )
+        table = answer.table()
+        assert "n/a" in table
+        assert "nan" not in table.lower()
+        assert answer.delta("preemption_delay", 50) is None
+        assert answer.delta("queue_wait_delay", 50) == 1.0
+
+    def test_empty_overrides_rejected(self, model):
+        with pytest.raises(ValueError, match="at least one override"):
+            whatif(model, {})
+
+    def test_unknown_scheduler_rejected(self, model):
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            whatif(model, {"scheduler": "mesos"})

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core.stats import DelaySample
+from repro.core.stats import DelaySample, ratio_of
 
 floats = st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
 
@@ -119,6 +119,19 @@ class TestEdgeCases:
 
     def test_ratio_to_zero_denominator_is_nan(self):
         assert math.isnan(DelaySample([1.0]).ratio_to(DelaySample([0.0])))
+
+    def test_ratio_to_zero_vs_zero_is_one(self):
+        # All-zero components (preemption_delay in a calm run) compare
+        # as "unchanged", not undefined — the compare() fix extended to
+        # the sample layer for the what-if delta tables.
+        assert DelaySample([0.0, 0.0]).ratio_to(DelaySample([0.0])) == 1.0
+
+    def test_ratio_of_edge_semantics(self):
+        assert ratio_of(2.0, 5.0) == pytest.approx(2.5)
+        assert ratio_of(0.0, 0.0) == 1.0
+        assert math.isnan(ratio_of(0.0, 1.0))
+        assert math.isnan(ratio_of(float("nan"), 1.0))
+        assert math.isnan(ratio_of(1.0, float("nan")))
 
     def test_empty_cdf_and_histogram_lengths_are_stable(self):
         s = DelaySample([])

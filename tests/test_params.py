@@ -73,3 +73,73 @@ class TestDerivedExpectations:
                 f.default is not dataclasses.MISSING
                 or f.default_factory is not dataclasses.MISSING
             ), f"{f.name} has no default"
+
+
+class TestDictRoundTrip:
+    """to_dict()/from_dict(): the fitted-model artifact contract."""
+
+    def test_default_round_trip_is_exact(self):
+        p = SimulationParams()
+        d = p.to_dict()
+        assert SimulationParams.from_dict(d) == p
+        assert SimulationParams.from_dict(d).to_dict() == d
+
+    def test_round_trip_preserves_overrides(self):
+        p = SimulationParams(
+            num_nodes=7, nm_heartbeat_s=0.5, queue_weights={"etl": 2.0}
+        )
+        q = SimulationParams.from_dict(p.to_dict())
+        assert q.num_nodes == 7
+        assert q.nm_heartbeat_s == 0.5
+        assert q.queue_weights == {"etl": 2.0}
+
+    def test_to_dict_covers_every_field(self):
+        d = SimulationParams().to_dict()
+        assert set(d) == {f.name for f in dataclasses.fields(SimulationParams)}
+
+    def test_to_dict_does_not_alias_dict_fields(self):
+        p = SimulationParams()
+        d = p.to_dict()
+        d["jvm_start_median_s"]["spm"] = 99.0
+        assert p.jvm_start_median_s["spm"] != 99.0
+
+    def test_from_dict_rejects_unknown_keys(self):
+        d = SimulationParams().to_dict()
+        d["nm_hearbeat_s"] = 0.5  # the typo-knob regression
+        with pytest.raises(ValueError, match="nm_hearbeat_s"):
+            SimulationParams.from_dict(d)
+
+    def test_from_dict_rejects_ill_typed_values(self):
+        base = SimulationParams().to_dict()
+        for key, bad in [
+            ("num_nodes", 2.5),
+            ("num_nodes", True),
+            ("nm_heartbeat_s", "fast"),
+            ("jvm_reuse", 1),
+            ("resource_calculator", 3),
+            ("jvm_start_median_s", [1, 2]),
+            ("jvm_start_median_s", {"spm": "slow"}),
+            ("queue_weights", {"a": "heavy"}),
+        ]:
+            with pytest.raises(ValueError, match=key):
+                SimulationParams.from_dict({**base, key: bad})
+
+    def test_from_dict_rejects_non_mapping(self):
+        with pytest.raises(ValueError, match="mapping"):
+            SimulationParams.from_dict([("num_nodes", 5)])
+
+    def test_from_dict_accepts_partial_payload(self):
+        q = SimulationParams.from_dict({"num_nodes": 3})
+        assert q.num_nodes == 3
+        assert q.cores_per_node == SimulationParams().cores_per_node
+
+    def test_with_overrides_rejects_unknown_knob(self):
+        with pytest.raises(ValueError, match="unknown SimulationParams"):
+            SimulationParams().with_overrides(nm_hearbeat_s=0.5)
+
+    def test_with_overrides_rejects_ill_typed_knob(self):
+        with pytest.raises(ValueError, match="num_nodes"):
+            SimulationParams().with_overrides(num_nodes="many")
+
+    def test_int_accepted_for_float_fields(self):
+        assert SimulationParams().with_overrides(nm_heartbeat_s=2).nm_heartbeat_s == 2
